@@ -1,0 +1,22 @@
+"""E2 — Eq. (27) / Section 4.3: fhtw(Q□, S□) = 2, with both TDs costing 2."""
+
+from repro.paperdata import four_cycle_cardinality_statistics
+from repro.query import four_cycle_projected
+from repro.utils.varsets import format_varset
+from repro.widths import fractional_hypertree_width
+
+
+def test_e2_fractional_hypertree_width(benchmark, report_table):
+    query = four_cycle_projected()
+    statistics = four_cycle_cardinality_statistics(1000)
+
+    result = benchmark(fractional_hypertree_width, query, statistics)
+
+    assert abs(result.width - 2.0) < 1e-6
+    rows = []
+    for cost in result.all_costs:
+        for bag, exponent in sorted(cost.bag_exponents.items(), key=lambda kv: sorted(kv[0])):
+            rows.append([str(cost.decomposition), format_varset(bag), f"{exponent:.4f}"])
+    rows.append(["fhtw(Q□, S□)", "", f"{result.width:.4f} (paper: 2)"])
+    report_table("E2: cost of every static plan of Q□ under S□",
+                 ["decomposition", "bag", "polymatroid bound"], rows)

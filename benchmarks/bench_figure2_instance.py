@@ -1,0 +1,47 @@
+"""F2 — Figure 2: the running-example instance, its output and the probability
+annotations of the uniform output distribution."""
+
+import math
+
+from repro.algorithms import evaluate_bruteforce
+from repro.entropy import uniform_output_entropy
+from repro.paperdata import (
+    figure2_database,
+    figure2_expected_output,
+    figure2_marginal_probabilities,
+)
+from repro.query import four_cycle_full
+
+
+def test_figure2_output_and_marginals(benchmark, report_table):
+    database = figure2_database()
+    query = four_cycle_full()
+
+    output = benchmark(lambda: evaluate_bruteforce(query, database).project(
+        ["X", "Y", "Z", "W"]))
+    assert output.rows == frozenset(figure2_expected_output())
+
+    entropy = uniform_output_entropy(output)
+    assert entropy["XYZW"] == math.log2(3)
+
+    rows = [[x, y, z, w, "1/3"] for (x, y, z, w) in sorted(output.rows, key=repr)]
+    report_table("Figure 2: output of Q□full with uniform probabilities",
+                 ["X", "Y", "Z", "W", "p"], rows)
+
+    expected = figure2_marginal_probabilities()
+    marginal_rows = []
+    for atom in query.atoms:
+        relation = database.bind_atom(atom)
+        # Marginal of the uniform output distribution, keyed in the atom's
+        # variable order so it lines up with the stored relation's tuples.
+        marginals: dict[tuple, float] = {}
+        for out_row in output.rows:
+            assignment = dict(zip(output.columns, out_row))
+            key = tuple(assignment[v] for v in atom.variables)
+            marginals[key] = marginals.get(key, 0.0) + 1.0 / len(output)
+        for row in sorted(relation.rows, key=repr):
+            probability = marginals.get(row, 0.0)
+            marginal_rows.append([atom.relation, row, f"{probability:.4f}"])
+            assert abs(probability - float(expected[atom.relation][row])) < 1e-9
+    report_table("Figure 2: marginal probabilities of the input tuples",
+                 ["relation", "tuple", "marginal"], marginal_rows)

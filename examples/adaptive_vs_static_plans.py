@@ -1,0 +1,63 @@
+"""Adaptive (PANDA) plans vs static plans vs binary joins on skewed graphs.
+
+The workload the paper's Section 5.1 motivates: find which edges (X, Y) of a
+"follows" graph close into a 4-hop loop through two more relations — a pattern
+that is quadratic for every classical plan on skewed data, but O(N^{3/2}) for
+PANDA's multi-decomposition plan.
+
+Run with:  python examples/adaptive_vs_static_plans.py
+"""
+
+import time
+
+from repro.algorithms import best_binary_plan, evaluate_static_plan
+from repro.datagen import hard_four_cycle_instance
+from repro.decompositions import enumerate_tree_decompositions
+from repro.panda import evaluate_adaptive
+from repro.paperdata import four_cycle_cardinality_statistics
+from repro.query import four_cycle_projected
+
+
+def run_once(size: int) -> dict:
+    query = four_cycle_projected()
+    database = hard_four_cycle_instance(size)
+    statistics = four_cycle_cardinality_statistics(size)
+
+    results = {}
+
+    start = time.perf_counter()
+    _, binary_report = best_binary_plan(query, database)
+    results["binary"] = (binary_report.counter.max_intermediate,
+                         time.perf_counter() - start)
+
+    start = time.perf_counter()
+    static_best = None
+    for decomposition in enumerate_tree_decompositions(query):
+        _, report = evaluate_static_plan(query, database, decomposition)
+        if static_best is None or report.max_bag_size < static_best:
+            static_best = report.max_bag_size
+    results["static"] = (static_best, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    answer, adaptive_report = evaluate_adaptive(query, database, statistics=statistics)
+    results["adaptive"] = (adaptive_report.max_intermediate,
+                           time.perf_counter() - start)
+    results["answers"] = len(answer)
+    return results
+
+
+def main() -> None:
+    print(f"{'N':>6} {'answers':>8} {'binary max':>12} {'static max':>12} "
+          f"{'adaptive max':>13} {'N^1.5':>8} {'N²/4':>8}")
+    for size in (40, 80, 160, 240):
+        results = run_once(size)
+        print(f"{size:>6} {results['answers']:>8} "
+              f"{results['binary'][0]:>12} {results['static'][0]:>12} "
+              f"{results['adaptive'][0]:>13} {int(size ** 1.5):>8} {size * size // 4:>8}")
+    print("\nEvery classical plan (binary joins, single tree decomposition) is "
+          "forced through an Ω(N²) intermediate,\nwhile the adaptive PANDA plan "
+          "partitions the data across the two decompositions and stays near N^{3/2}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Cardinality estimation for a query optimizer, the information-theoretic way.
+
+The scenario of the paper's introduction: an optimizer receives a query and
+statistics (sizes, functional dependencies, degree bounds, ℓ2 norms) and must
+upper-bound the size of intermediate results *before* running anything.  This
+example measures statistics on concrete graph data, computes the AGM and
+polymatroid bounds for a set of pattern queries, and compares them with the
+true output sizes.
+
+Run with:  python examples/cardinality_estimation.py
+"""
+
+from repro import agm_bound, polymatroid_bound
+from repro.algorithms import count_answers
+from repro.bounds import add_measured_lp_norms
+from repro.datagen import random_graph_database
+from repro.query import (
+    cycle_query,
+    four_cycle_full,
+    loomis_whitney_query,
+    path_query,
+    triangle_query,
+)
+from repro.stats import ConstraintSet, collect_statistics
+
+
+def analyse(query, database) -> dict:
+    cardinalities = collect_statistics(database, query, include_degrees=False)
+    with_degrees = collect_statistics(database, query, include_degrees=True)
+    with_norms = add_measured_lp_norms(with_degrees, database, query, order=2.0)
+
+    return {
+        "query": query.name,
+        "actual": count_answers(query, database),
+        "agm": agm_bound(query, ConstraintSet(cardinalities.degree_constraints,
+                                              base=cardinalities.base)).size_bound,
+        "degrees": polymatroid_bound(query, with_degrees).size_bound,
+        "norms": polymatroid_bound(query, with_norms).size_bound,
+    }
+
+
+def main() -> None:
+    size, domain = 150, 30
+    queries = [
+        triangle_query(),
+        four_cycle_full(),
+        cycle_query(5),
+        loomis_whitney_query(3),
+        path_query(3),
+    ]
+    print(f"{'query':>10} {'actual':>8} {'AGM':>12} {'+degrees':>12} {'+ℓ2 norms':>12}")
+    for query in queries:
+        database = random_graph_database(query, size, domain, seed=7, skew=1.3)
+        row = analyse(query, database)
+        print(f"{row['query']:>10} {row['actual']:>8} {row['agm']:>12.0f} "
+              f"{row['degrees']:>12.0f} {row['norms']:>12.0f}")
+    print("\nEvery bound is a worst-case guarantee over all databases with the same "
+          "statistics;\nricher statistics (degrees, FDs, ℓ2 norms) monotonically "
+          "tighten the estimate toward the truth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment for this repository ships setuptools without the
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+Keeping a classic ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path, which works offline.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

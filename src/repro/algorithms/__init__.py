@@ -1,0 +1,72 @@
+"""Query evaluation algorithms: baselines, worst-case optimal joins, Yannakakis,
+static tree-decomposition plans, semiring (FAQ) evaluation and matrix-multiplication
+based evaluation."""
+
+from repro.algorithms.bruteforce import (
+    boolean_answer,
+    count_answers,
+    evaluate_bruteforce,
+    full_join_of_query,
+)
+from repro.algorithms.binary_join import (
+    BinaryPlanReport,
+    best_binary_plan,
+    evaluate_binary_plan,
+    greedy_atom_order,
+)
+from repro.algorithms.generic_join import generic_join, generic_join_full
+from repro.algorithms.yannakakis import (
+    CyclicQueryError,
+    evaluate_yannakakis,
+    yannakakis_over_relations,
+)
+from repro.algorithms.static_plan import (
+    StaticPlanReport,
+    compute_bag_relation,
+    evaluate_static_plan,
+)
+from repro.algorithms.faq import (
+    FAQResult,
+    count_query_answers,
+    evaluate_faq,
+    greedy_elimination_order,
+)
+from repro.algorithms.matmul import (
+    OMEGA,
+    count_four_cycles,
+    count_triangles,
+    count_two_paths,
+    four_cycle_exists,
+    matrix_multiplication_cost,
+    relation_to_matrix,
+)
+
+__all__ = [
+    "evaluate_bruteforce",
+    "full_join_of_query",
+    "boolean_answer",
+    "count_answers",
+    "evaluate_binary_plan",
+    "best_binary_plan",
+    "greedy_atom_order",
+    "BinaryPlanReport",
+    "generic_join",
+    "generic_join_full",
+    "evaluate_yannakakis",
+    "yannakakis_over_relations",
+    "CyclicQueryError",
+    "evaluate_static_plan",
+    "compute_bag_relation",
+    "StaticPlanReport",
+    "evaluate_faq",
+    "count_query_answers",
+    "greedy_elimination_order",
+    "FAQResult",
+    "OMEGA",
+    "relation_to_matrix",
+    "count_two_paths",
+    "count_four_cycles",
+    "four_cycle_exists",
+    "count_triangles",
+    "matrix_multiplication_cost",
+]

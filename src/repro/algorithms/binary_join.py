@@ -1,0 +1,100 @@
+"""Traditional binary-join query plans (the textbook baseline, Section 1).
+
+A binary plan joins the atoms pairwise in some order; the classical
+System-R-style optimizer searches left-deep orders using cardinality
+estimates.  These plans are the baseline that worst-case optimal joins and
+PANDA improve on: on cyclic queries with skew their intermediate results can
+be asymptotically larger than the AGM / polymatroid bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
+from repro.relational.relation import Relation
+
+
+@dataclass
+class BinaryPlanReport:
+    """Execution trace of a binary join plan."""
+
+    atom_order: tuple[int, ...]
+    counter: WorkCounter = field(default_factory=WorkCounter)
+
+    def describe(self, query: ConjunctiveQuery) -> str:
+        rendered = " ⋈ ".join(str(query.atoms[index]) for index in self.atom_order)
+        return (f"left-deep plan: {rendered}; max intermediate "
+                f"{self.counter.max_intermediate} tuples")
+
+
+def evaluate_binary_plan(query: ConjunctiveQuery, database: Database,
+                         atom_order: Sequence[int] | None = None,
+                         counter: WorkCounter | None = None) -> tuple[Relation, BinaryPlanReport]:
+    """Evaluate a CQ with a left-deep sequence of binary hash joins.
+
+    ``atom_order`` gives the join order as atom indices; the default is the
+    greedy "smallest relation first, prefer connected atoms" heuristic.
+    """
+    if atom_order is None:
+        atom_order = greedy_atom_order(query, database)
+    else:
+        atom_order = tuple(atom_order)
+        if sorted(atom_order) != list(range(len(query.atoms))):
+            raise ValueError("atom_order must be a permutation of the atom indices")
+    report = BinaryPlanReport(atom_order=tuple(atom_order))
+    work = counter if counter is not None else report.counter
+    relations = [database.bind_atom(atom) for atom in query.atoms]
+    result = relations[atom_order[0]]
+    for index in atom_order[1:]:
+        result = result.hash_join(relations[index])
+        work.record(result, note=f"join atom {index}")
+    if query.is_boolean:
+        answer = Relation(query.name, (), [()] if len(result) > 0 else [])
+    else:
+        answer = result.project(sorted(query.free_variables), name=query.name)
+    work.record(answer, note="final projection")
+    if counter is not None and counter is not report.counter:
+        report.counter.merge(counter)
+    return answer, report
+
+
+def greedy_atom_order(query: ConjunctiveQuery, database: Database) -> tuple[int, ...]:
+    """Smallest-relation-first order that keeps the join connected when possible."""
+    sizes = {index: len(database.bind_atom(atom))
+             for index, atom in enumerate(query.atoms)}
+    remaining = set(range(len(query.atoms)))
+    order: list[int] = []
+    covered: set[str] = set()
+    while remaining:
+        connected = [index for index in remaining
+                     if not order or (query.atoms[index].varset & covered)]
+        pool = connected if connected else sorted(remaining)
+        best = min(pool, key=lambda index: (sizes[index], index))
+        order.append(best)
+        covered.update(query.atoms[best].varset)
+        remaining.remove(best)
+    return tuple(order)
+
+
+def best_binary_plan(query: ConjunctiveQuery, database: Database,
+                     max_atoms_for_exhaustive: int = 6) -> tuple[Relation, BinaryPlanReport]:
+    """Search left-deep orders for the plan with the smallest max intermediate.
+
+    Exhaustive for small queries, greedy otherwise.  This is the "best a
+    traditional optimizer could have done" baseline used by experiment E5.
+    """
+    if len(query.atoms) > max_atoms_for_exhaustive:
+        return evaluate_binary_plan(query, database)
+    best_result: tuple[Relation, BinaryPlanReport] | None = None
+    for order in permutations(range(len(query.atoms))):
+        answer, report = evaluate_binary_plan(query, database, atom_order=order)
+        if (best_result is None
+                or report.counter.max_intermediate < best_result[1].counter.max_intermediate):
+            best_result = (answer, report)
+    assert best_result is not None
+    return best_result

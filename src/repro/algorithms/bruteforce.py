@@ -1,0 +1,52 @@
+"""Brute-force CQ evaluation, used as ground truth by tests and experiments.
+
+The full join is materialised pairwise and then projected onto the free
+variables.  Nothing here is clever — that is the point: every other evaluation
+algorithm in the library is validated against this one on small inputs.
+"""
+
+from __future__ import annotations
+
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter, join_all
+from repro.relational.relation import Relation
+
+
+def full_join_of_query(query: ConjunctiveQuery, database: Database,
+                       counter: WorkCounter | None = None) -> Relation:
+    """The natural join of all (bound) atoms, over every variable of the query."""
+    bound = database.bind_query(query)
+    result = join_all(bound, counter=counter, name=f"{query.name}_full_join")
+    # Normalise the column order for deterministic downstream behaviour.
+    ordered = sorted(query.variables)
+    missing = [v for v in ordered if v not in result.column_set]
+    if missing:
+        # Can only happen for queries whose atoms do not cover some variable,
+        # which ConjunctiveQuery forbids; keep a defensive error anyway.
+        raise RuntimeError(f"join result is missing variables {missing}")
+    return result.project(ordered, name=f"{query.name}_full_join")
+
+
+def evaluate_bruteforce(query: ConjunctiveQuery, database: Database,
+                        counter: WorkCounter | None = None) -> Relation:
+    """Evaluate ``query`` by materialising the full join and projecting to ``F``.
+
+    For a Boolean query the result is a nullary relation containing the empty
+    tuple iff the body is satisfiable.
+    """
+    full = full_join_of_query(query, database, counter=counter)
+    if query.is_boolean:
+        rows = [()] if len(full) > 0 else []
+        return Relation(query.name, (), rows)
+    return full.project(sorted(query.free_variables), name=query.name)
+
+
+def boolean_answer(query: ConjunctiveQuery, database: Database) -> bool:
+    """True iff the Boolean version of ``query`` is satisfied by the database."""
+    return len(evaluate_bruteforce(query.boolean_version(), database)) > 0
+
+
+def count_answers(query: ConjunctiveQuery, database: Database) -> int:
+    """The number of distinct answers |Q(D)| (set semantics)."""
+    return len(evaluate_bruteforce(query, database))

@@ -1,0 +1,144 @@
+"""Functional aggregate queries: semiring evaluation by variable elimination (Section 9.1).
+
+An FAQ computes ``⊕_{bound variables} ⊗_{atoms} annotation`` over a commutative
+semiring.  For the Boolean semiring this is CQ evaluation; for the counting
+semiring it is #CQ; for min-plus it finds minimum-weight assignments.  The
+evaluation here is classical variable elimination along an elimination order
+of the bound variables (equivalently, dynamic programming over a tree
+decomposition), which is exact for every semiring.  PANDA-style adaptive
+partitioning is only sound for idempotent semirings — the paper's Section 9.1
+point — so the adaptive path (``repro.panda``) refuses non-idempotent
+semirings and this module is the reference evaluator for counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.semiring import AnnotatedRelation, Semiring
+
+
+@dataclass
+class FAQResult:
+    """Result of an FAQ evaluation: a relation over the free variables with
+    semiring annotations, plus the largest intermediate factor size."""
+
+    output: AnnotatedRelation
+    max_intermediate: int
+
+    def scalar(self):
+        """The single aggregate value (for Boolean queries)."""
+        return self.output.total()
+
+    def as_dict(self) -> dict[tuple, object]:
+        return {row: value for row, value in self.output.items()}
+
+
+def evaluate_faq(query: ConjunctiveQuery, database: Database, semiring: Semiring,
+                 weight: Callable[[str, dict], object] | None = None,
+                 elimination_order: Sequence[str] | None = None) -> FAQResult:
+    """Evaluate the FAQ version of ``query`` over ``semiring``.
+
+    Parameters
+    ----------
+    weight:
+        Optional function ``(relation_name, tuple_as_dict) -> annotation``
+        giving each input tuple its annotation; by default every tuple is
+        annotated with the semiring's ``one`` (so counting counts solutions).
+    elimination_order:
+        Order in which the bound (existential) variables are eliminated;
+        defaults to a greedy min-degree-style order.
+    """
+    factors: list[AnnotatedRelation] = []
+    for atom in query.atoms:
+        relation = database.bind_atom(atom)
+        if weight is None:
+            factors.append(AnnotatedRelation.from_relation(relation, semiring))
+        else:
+            factors.append(AnnotatedRelation.from_relation(
+                relation, semiring,
+                weight=lambda row, name=atom.relation: weight(name, row)))
+    order = list(elimination_order) if elimination_order \
+        else greedy_elimination_order(query)
+    unknown = set(order) - query.bound_variables
+    if unknown:
+        raise ValueError(f"cannot eliminate free or unknown variables: {sorted(unknown)}")
+    max_intermediate = max((len(f) for f in factors), default=0)
+
+    for variable in order:
+        touching = [f for f in factors if variable in f.column_set]
+        untouched = [f for f in factors if variable not in f.column_set]
+        if not touching:
+            continue
+        combined = touching[0]
+        for factor in touching[1:]:
+            combined = combined.join(factor)
+            max_intermediate = max(max_intermediate, len(combined))
+        keep = [c for c in combined.columns if c != variable]
+        combined = combined.marginalize(keep)
+        max_intermediate = max(max_intermediate, len(combined))
+        factors = untouched + [combined]
+
+    result = factors[0]
+    for factor in factors[1:]:
+        result = result.join(factor)
+        max_intermediate = max(max_intermediate, len(result))
+    remaining_bound = [c for c in result.columns if c in query.bound_variables]
+    if remaining_bound:
+        result = result.marginalize([c for c in result.columns
+                                     if c not in set(remaining_bound)])
+    result = result.marginalize(sorted(query.free_variables))
+    max_intermediate = max(max_intermediate, len(result))
+    return FAQResult(output=result, max_intermediate=max_intermediate)
+
+
+def greedy_elimination_order(query: ConjunctiveQuery) -> list[str]:
+    """Min-fill-style greedy order over the bound variables.
+
+    At each step the bound variable whose elimination creates the smallest
+    clique (fewest neighbours in the current hypergraph) is chosen.
+    """
+    edges = [set(atom.varset) for atom in query.atoms]
+    remaining = set(query.bound_variables)
+    order: list[str] = []
+    while remaining:
+        def neighbour_count(variable: str) -> int:
+            neighbours: set[str] = set()
+            for edge in edges:
+                if variable in edge:
+                    neighbours.update(edge)
+            neighbours.discard(variable)
+            return len(neighbours)
+
+        best = min(sorted(remaining), key=neighbour_count)
+        neighbours: set[str] = set()
+        new_edges = []
+        for edge in edges:
+            if best in edge:
+                neighbours.update(edge - {best})
+            else:
+                new_edges.append(edge)
+        if neighbours:
+            new_edges.append(neighbours)
+        edges = new_edges
+        order.append(best)
+        remaining.remove(best)
+    return order
+
+
+def count_query_answers(query: ConjunctiveQuery, database: Database) -> int:
+    """#CQ under *bag* semantics: the number of satisfying assignments to all variables.
+
+    This counts assignments of every variable (the quantity probabilistic and
+    counting applications care about); for the number of *distinct output
+    tuples* use set-semantics evaluation instead.
+    """
+    from repro.relational.semiring import COUNTING_SEMIRING
+
+    full = query.full_version()
+    result = evaluate_faq(full, database, COUNTING_SEMIRING)
+    total = result.output.marginalize([]).total() if len(result.output) else 0
+    return int(total)

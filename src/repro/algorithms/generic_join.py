@@ -1,0 +1,129 @@
+"""A worst-case optimal join in the Generic-Join / LeapFrog-TrieJoin style.
+
+Worst-case optimal joins (Section 2.1, [52, 54, 56]) evaluate a *full* CQ one
+variable at a time: at each level the candidate values of the current variable
+are the intersection of the values compatible with the partial assignment in
+every relation that contains the variable.  The total running time is
+proportional to the AGM bound of the query (up to log factors), which is what
+experiment E9 measures.
+
+This implementation indexes each relation by every prefix of the global
+variable order restricted to the relation's variables, so candidate lookups
+are hash probes rather than scans.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
+from repro.relational.relation import Relation
+
+
+class _IndexedRelation:
+    """One relation indexed for a fixed global variable order."""
+
+    def __init__(self, relation: Relation, order: Sequence[str]) -> None:
+        self.variables = [v for v in order if v in relation.column_set]
+        positions = [relation.column_index(v) for v in self.variables]
+        self.rows = [tuple(row[p] for p in positions) for row in relation]
+        # index[k] maps a length-k prefix of this relation's variables to the
+        # set of values of variable k+1 compatible with it.
+        self.index: list[dict[tuple, set]] = []
+        for depth in range(len(self.variables)):
+            level: dict[tuple, set] = defaultdict(set)
+            for row in self.rows:
+                level[row[:depth]].add(row[depth])
+            self.index.append(dict(level))
+
+    def candidate_values(self, assignment: dict[str, object]) -> set | None:
+        """Values allowed for this relation's first unassigned variable.
+
+        Returns ``None`` when every variable of the relation is already
+        assigned (in which case :meth:`consistent` should be used instead).
+        """
+        depth = 0
+        prefix = []
+        for variable in self.variables:
+            if variable in assignment:
+                prefix.append(assignment[variable])
+                depth += 1
+            else:
+                break
+        if depth == len(self.variables):
+            return None
+        return self.index[depth].get(tuple(prefix), set())
+
+    def constrains(self, variable: str, assignment: dict[str, object]) -> bool:
+        """True when ``variable`` is this relation's next unassigned variable."""
+        for own in self.variables:
+            if own in assignment:
+                continue
+            return own == variable
+        return False
+
+
+def generic_join(query: ConjunctiveQuery, database: Database,
+                 variable_order: Sequence[str] | None = None,
+                 counter: WorkCounter | None = None) -> Relation:
+    """Evaluate a CQ with the generic worst-case-optimal join.
+
+    The result is the projection onto the free variables of the full join; the
+    enumeration itself always walks the full variable space, so the guarantee
+    is the worst-case-optimality of the *full* query (as in the literature).
+    """
+    order = list(variable_order) if variable_order else sorted(query.variables)
+    if set(order) != set(query.variables):
+        raise ValueError("variable_order must mention every query variable exactly once")
+    indexed = [_IndexedRelation(database.bind_atom(atom), order)
+               for atom in query.atoms]
+    free = sorted(query.free_variables)
+    output_rows: set[tuple] = set()
+    assignment: dict[str, object] = {}
+    explored = 0
+
+    def recurse(level: int) -> None:
+        nonlocal explored
+        if level == len(order):
+            output_rows.add(tuple(assignment[v] for v in free))
+            return
+        variable = order[level]
+        relevant = [rel for rel in indexed if rel.constrains(variable, assignment)]
+        if not relevant:
+            # The variable occurs only in relations whose other variables are
+            # not yet bound; fall back to any relation containing it.
+            relevant = [rel for rel in indexed if variable in rel.variables]
+        candidate_sets = []
+        for rel in relevant:
+            values = rel.candidate_values(assignment)
+            if values is not None:
+                candidate_sets.append(values)
+        if not candidate_sets:
+            return
+        candidates = set.intersection(*map(set, candidate_sets)) \
+            if len(candidate_sets) > 1 else set(candidate_sets[0])
+        for value in candidates:
+            assignment[variable] = value
+            explored += 1
+            recurse(level + 1)
+            del assignment[variable]
+
+    recurse(0)
+    result = Relation(query.name, tuple(free), output_rows)
+    if counter is not None:
+        counter.intermediate_tuples += explored
+        counter.max_intermediate = max(counter.max_intermediate, len(result))
+        counter.materializations += 1
+        counter.notes.append(f"generic join explored {explored} partial assignments")
+    return result
+
+
+def generic_join_full(query: ConjunctiveQuery, database: Database,
+                      variable_order: Sequence[str] | None = None,
+                      counter: WorkCounter | None = None) -> Relation:
+    """The full join of the query's atoms computed with generic join."""
+    return generic_join(query.full_version(), database,
+                        variable_order=variable_order, counter=counter)

@@ -1,0 +1,101 @@
+"""Static (single tree-decomposition) query plans (Section 4.1).
+
+A static plan materialises one intermediate relation per bag of a tree
+decomposition — rule (13) — and then evaluates the acyclic query over the bags
+with the Yannakakis algorithm — rule (12).  Each bag relation is computed with
+the worst-case-optimal generic join of the atoms' projections onto the bag, so
+its size is governed by the bag's polymatroid bound, which is exactly the cost
+the fractional-hypertree-width LP (Eq. (21)) assigns to the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.generic_join import generic_join
+from repro.algorithms.yannakakis import yannakakis_over_relations
+from repro.decompositions.treedecomp import TreeDecomposition
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
+from repro.relational.relation import Relation
+from repro.utils.varsets import format_varset
+
+
+@dataclass
+class StaticPlanReport:
+    """Execution trace of a static plan: bag sizes and total work."""
+
+    decomposition: TreeDecomposition
+    bag_sizes: dict[frozenset[str], int] = field(default_factory=dict)
+    counter: WorkCounter = field(default_factory=WorkCounter)
+
+    @property
+    def max_bag_size(self) -> int:
+        return max(self.bag_sizes.values(), default=0)
+
+    def describe(self) -> str:
+        lines = [f"static plan over {self.decomposition}"]
+        for bag, size in sorted(self.bag_sizes.items(), key=lambda kv: sorted(kv[0])):
+            lines.append(f"  bag {format_varset(bag)}: {size} tuples")
+        lines.append(f"  max intermediate: {self.counter.max_intermediate} tuples")
+        return "\n".join(lines)
+
+
+def compute_bag_relation(query: ConjunctiveQuery, database: Database,
+                         bag: frozenset[str],
+                         counter: WorkCounter | None = None) -> Relation:
+    """Materialise the bag relation ``Q_B`` of rule (13).
+
+    The bag relation is the join, over the bag's variables, of the projections
+    of every atom that shares variables with the bag.  (Joining the
+    projections is the standard fractional-hypertree-width algorithm; it
+    yields a superset of ``π_B`` of the full join, which the subsequent
+    Yannakakis phase filters to the exact answer.)
+    """
+    projected: list[Relation] = []
+    synthetic_atoms: list[Atom] = []
+    synthetic_db = Database()
+    for index, atom in enumerate(query.atoms):
+        overlap = atom.varset & bag
+        if not overlap:
+            continue
+        relation = database.bind_atom(atom).project(sorted(overlap))
+        name = f"proj_{index}"
+        synthetic_db.add(Relation(name, relation.columns, relation.rows))
+        synthetic_atoms.append(Atom(name, relation.columns))
+        projected.append(relation)
+    if not synthetic_atoms:
+        raise ValueError(f"bag {format_varset(bag)} shares no variables with the query")
+    bag_query = ConjunctiveQuery(synthetic_atoms, free_variables=bag,
+                                 name=f"Q{format_varset(bag)}")
+    result = generic_join(bag_query, synthetic_db, counter=counter)
+    if counter is not None:
+        counter.record(result, note=f"bag {format_varset(bag)}")
+    return result
+
+
+def evaluate_static_plan(query: ConjunctiveQuery, database: Database,
+                         decomposition: TreeDecomposition,
+                         counter: WorkCounter | None = None) -> tuple[Relation, StaticPlanReport]:
+    """Evaluate a CQ with the static plan induced by ``decomposition``.
+
+    Returns the answer relation together with a :class:`StaticPlanReport`
+    recording every bag size (the quantities the fhtw cost model bounds).
+    """
+    if not decomposition.is_valid_for(query):
+        raise ValueError(f"{decomposition} is not a valid decomposition of {query}")
+    report = StaticPlanReport(decomposition=decomposition)
+    work = counter if counter is not None else report.counter
+    bag_relations = []
+    for bag in decomposition.bags:
+        relation = compute_bag_relation(query, database, bag, counter=work)
+        report.bag_sizes[bag] = len(relation)
+        bag_relations.append(relation)
+    answer = yannakakis_over_relations(bag_relations, query.free_variables,
+                                       counter=work, name=query.name)
+    if query.is_boolean:
+        answer = Relation(query.name, (), [()] if len(answer) > 0 else [])
+    if counter is not None and counter is not report.counter:
+        report.counter.merge(counter)
+    return answer, report

@@ -1,0 +1,178 @@
+"""The Yannakakis algorithm for acyclic conjunctive queries (Section 3.4, [59]).
+
+Given an acyclic query, the algorithm (1) builds a join tree with the GYO
+reduction, (2) performs a full semijoin reduction (an upward and a downward
+pass), after which every relation contains exactly the tuples that participate
+in the join, and (3) joins bottom-up, projecting each intermediate result onto
+the free variables seen so far plus the separator towards the parent.  For
+free-connex queries the intermediate results stay within O(N + OUT), which is
+the behaviour experiment E6 measures.
+
+The same routine is reused to evaluate the acyclic query over the *bags* of a
+tree decomposition — rule (12) for static plans and rule (29) for adaptive
+(PANDA) plans — by passing the bag relations as ``relations``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import JoinTree, gyo_reduction
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
+from repro.relational.relation import Relation
+
+
+class CyclicQueryError(ValueError):
+    """Raised when Yannakakis is asked to evaluate a cyclic query."""
+
+
+def yannakakis_over_relations(relations: Sequence[Relation],
+                              free_variables: frozenset[str],
+                              counter: WorkCounter | None = None,
+                              name: str = "Q") -> Relation:
+    """Run Yannakakis over explicit relations whose schemas form an acyclic hypergraph."""
+    if not relations:
+        return Relation(name, tuple(sorted(free_variables)), [()] if not free_variables else [])
+    tree = gyo_reduction([rel.column_set for rel in relations])
+    if tree is None:
+        raise CyclicQueryError("the relations' schemas do not form an acyclic hypergraph")
+    tree = _reroot_towards_free_variables(tree, free_variables)
+    reduced = _full_reducer(list(relations), tree, counter)
+    return _bottom_up_join(reduced, tree, free_variables, counter, name)
+
+
+def _reroot_towards_free_variables(tree: JoinTree,
+                                   free_variables: frozenset[str]) -> JoinTree:
+    """Re-root the join tree at the node covering the most free variables.
+
+    For a free-connex query there is a node whose bag contains a maximal share
+    of the free variables near the "connex" part of the tree; rooting there
+    means existential variables are projected away in the subtrees *before*
+    they can multiply with free variables carried upward, which is what keeps
+    the bottom-up join phase linear in input + output.
+    """
+    if not free_variables or len(tree.nodes) <= 1:
+        return tree
+    best_root = max(range(len(tree.nodes)),
+                    key=lambda index: (len(tree.nodes[index] & free_variables),
+                                       -len(tree.nodes[index])))
+    if best_root == tree.root:
+        return tree
+    adjacency: dict[int, set[int]] = {index: set() for index in range(len(tree.nodes))}
+    for child, parent in tree.edges():
+        adjacency[child].add(parent)
+        adjacency[parent].add(child)
+    parent: list[int | None] = [None] * len(tree.nodes)
+    visited = {best_root}
+    frontier = [best_root]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in visited:
+                visited.add(neighbour)
+                parent[neighbour] = node
+                frontier.append(neighbour)
+    return JoinTree(nodes=tree.nodes, parent=tuple(parent))
+
+
+def evaluate_yannakakis(query: ConjunctiveQuery, database: Database,
+                        counter: WorkCounter | None = None) -> Relation:
+    """Evaluate an acyclic CQ with the Yannakakis algorithm.
+
+    The query's hypergraph must be alpha-acyclic; otherwise a
+    :class:`CyclicQueryError` is raised (use a tree-decomposition based plan
+    instead).
+    """
+    relations = database.bind_query(query)
+    result = yannakakis_over_relations(relations, query.free_variables,
+                                       counter=counter, name=query.name)
+    if query.is_boolean:
+        rows = [()] if len(result) > 0 else []
+        return Relation(query.name, (), rows)
+    return result
+
+
+# --------------------------------------------------------------------------
+# internals
+# --------------------------------------------------------------------------
+
+def _full_reducer(relations: list[Relation], tree: JoinTree,
+                  counter: WorkCounter | None) -> list[Relation]:
+    """Upward then downward semijoin passes along the join tree."""
+    current = [relation.copy() for relation in relations]
+    order = tree.bottom_up_order()
+    # Upward pass: children filter parents.
+    for index in order:
+        parent = tree.parent[index]
+        if parent is None:
+            continue
+        current[parent] = current[parent].semijoin(current[index])
+        if counter is not None:
+            counter.record(current[parent], note=f"semijoin up into node {parent}")
+    # Downward pass: parents filter children.
+    for index in reversed(order):
+        parent = tree.parent[index]
+        if parent is None:
+            continue
+        current[index] = current[index].semijoin(current[parent])
+        if counter is not None:
+            counter.record(current[index], note=f"semijoin down into node {index}")
+    return current
+
+
+def _bottom_up_join(relations: list[Relation], tree: JoinTree,
+                    free_variables: frozenset[str],
+                    counter: WorkCounter | None, name: str) -> Relation:
+    """Join bottom-up, keeping only free variables and separators.
+
+    Projections are pushed below every join: a node's own relation is first
+    projected onto its free variables plus the separators towards its parent
+    and children, so existential variables that occur in a single bag (e.g.
+    the ``Z`` of the 4-cycle's root bag) are eliminated before they can
+    multiply with the children's results.  For free-connex decompositions this
+    keeps the join phase's intermediates proportional to the bag sizes plus
+    the output rather than to the full (unprojected) join.
+    """
+    order = tree.bottom_up_order()
+    partial: dict[int, Relation] = {}
+    for index in order:
+        parent = tree.parent[index]
+        separator = tree.nodes[index] & tree.nodes[parent] if parent is not None \
+            else frozenset()
+        child_separators: set[str] = set()
+        for child in tree.children(index):
+            child_separators |= tree.nodes[index] & tree.nodes[child]
+        own = relations[index]
+        own_keep = (own.column_set & free_variables) | separator | child_separators
+        result = own.project(sorted(own_keep & own.column_set))
+        if counter is not None:
+            counter.record(result, note=f"project own relation of node {index}")
+        for child in tree.children(index):
+            result = result.hash_join(partial[child])
+            if counter is not None:
+                counter.record(result, note=f"join child {child} into node {index}")
+        if parent is None:
+            keep = sorted(set(result.columns) & free_variables) \
+                if free_variables else []
+            projected = result.project(keep, name=name) if free_variables else result
+        else:
+            keep_set = (set(result.columns) & free_variables) | separator
+            projected = result.project(sorted(keep_set))
+        if counter is not None:
+            counter.record(projected, note=f"project node {index}")
+        partial[index] = projected
+    root_result = partial[tree.root]
+    if not free_variables:
+        rows = [()] if len(root_result) > 0 else []
+        return Relation(name, (), rows)
+    # Free variables in disconnected components (defensive) or missing from
+    # the root projection indicate a non-free-connex shape; the projection at
+    # the root already carried every free variable upward because each node
+    # keeps its subtree's free variables.
+    missing = free_variables - root_result.column_set
+    if missing:
+        raise RuntimeError(
+            f"free variables {sorted(missing)} were lost during the bottom-up join")
+    return root_result.project(sorted(free_variables), name=name)

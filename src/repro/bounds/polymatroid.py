@@ -1,0 +1,190 @@
+"""The polymatroid bound for CQs and disjunctive datalog rules (Theorems 4.1, 5.1).
+
+Given statistics ``S`` over variables ``V``, the polymatroid bound of a CQ
+with free variables ``F`` is
+
+    max { h(F)  :  h ∈ Γ_n,  h |= S }
+
+and the polymatroid bound of a DDR with head targets ``B`` is
+
+    max { min_{B ∈ B} h(B)  :  h ∈ Γ_n,  h |= S }.
+
+Both are linear programs over one variable per non-empty subset of ``V``,
+constrained by the elemental Shannon inequalities and the statistics rows
+``h(Y|X) <= log_N N_{Y|X}`` (degree constraints) or
+``h(X)/k + h(Y|X) <= log_N N_{Y|X,k}`` (ℓk-norm constraints, Eq. (73)).
+Everything is expressed on the paper's log_N scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.entropy.elemental import elemental_inequalities
+from repro.entropy.setfunc import SetFunction
+from repro.lp.model import LinearProgram, LPSolution
+from repro.query.cq import ConjunctiveQuery
+from repro.stats.constraints import ConstraintSet, DegreeConstraint, LpNormConstraint
+from repro.utils.varsets import format_varset, powerset
+
+
+def entropy_variable_name(subset: frozenset[str]) -> str:
+    """The LP variable name for ``h(subset)``."""
+    return "h" + format_varset(subset)
+
+
+@dataclass
+class BoundResult:
+    """The result of a polymatroid-bound LP.
+
+    ``exponent`` is the bound on the log_N scale; ``size_bound`` converts it
+    back to a tuple count using the statistics' reference size;
+    ``polymatroid`` is the optimal (worst-case) polymatroid witnessing the
+    bound.
+    """
+
+    exponent: float
+    size_bound: float
+    polymatroid: SetFunction
+    lp_summary: str = ""
+
+    def __str__(self) -> str:
+        return f"N^{self.exponent:.4g} = {self.size_bound:.6g} tuples"
+
+
+class PolymatroidProgram:
+    """Shared construction of the ``h |= S, Γ_n`` feasible region."""
+
+    def __init__(self, variables: Iterable[str], statistics: ConstraintSet,
+                 name: str = "polymatroid") -> None:
+        self.variables = frozenset(variables) | statistics.variables
+        if not self.variables:
+            raise ValueError("the polymatroid LP needs at least one variable")
+        self.statistics = statistics
+        self.program = LinearProgram(name)
+        self._declare_entropy_variables()
+        self._add_shannon_constraints()
+        self._add_statistics_constraints()
+
+    # ------------------------------------------------------------- building
+    def _declare_entropy_variables(self) -> None:
+        for subset in powerset(self.variables):
+            if subset:
+                self.program.add_variable(entropy_variable_name(subset), lower=0.0)
+
+    def _add_shannon_constraints(self) -> None:
+        for inequality in elemental_inequalities(self.variables):
+            coefficients = {
+                entropy_variable_name(subset): float(coeff)
+                for subset, coeff in inequality.coefficients
+                if subset
+            }
+            self.program.add_ge(coefficients, 0.0)
+
+    def _add_statistics_constraints(self) -> None:
+        for constraint in self.statistics:
+            coefficients = self._constraint_row(constraint)
+            rhs = self.statistics.exponent_of(constraint)
+            self.program.add_le(coefficients, rhs)
+
+    def _constraint_row(self, constraint) -> dict[str, float]:
+        union = constraint.target | constraint.given
+        coefficients: dict[str, float] = {entropy_variable_name(union): 1.0}
+        if isinstance(constraint, DegreeConstraint):
+            if constraint.given:
+                coefficients[entropy_variable_name(constraint.given)] = -1.0
+            return coefficients
+        if isinstance(constraint, LpNormConstraint):
+            # (1/k)·h(X) + h(Y|X) = h(XY) − (1 − 1/k)·h(X)
+            if constraint.given:
+                weight = -(1.0 - 1.0 / constraint.order)
+                if abs(weight) > 1e-12:
+                    coefficients[entropy_variable_name(constraint.given)] = weight
+            return coefficients
+        raise TypeError(f"unsupported constraint type: {type(constraint)!r}")
+
+    # -------------------------------------------------------------- solving
+    def maximize(self, objective: dict[frozenset[str], float]) -> LPSolution:
+        coefficients = {entropy_variable_name(subset): weight
+                        for subset, weight in objective.items() if subset}
+        self.program.set_objective(coefficients, maximize=True)
+        return self.program.solve()
+
+    def maximize_single(self, subset: frozenset[str]) -> LPSolution:
+        return self.maximize({subset: 1.0})
+
+    def maximize_min(self, subsets: Sequence[frozenset[str]]) -> LPSolution:
+        """``max min_B h(B)`` via the auxiliary variable ``t`` of Eq. (45)."""
+        self.program.add_variable("t", lower=None)
+        for subset in subsets:
+            self.program.add_le({"t": 1.0, entropy_variable_name(subset): -1.0}, 0.0)
+        self.program.set_objective({"t": 1.0}, maximize=True)
+        return self.program.solve()
+
+    def solution_polymatroid(self, solution: LPSolution) -> SetFunction:
+        values = {}
+        for subset in powerset(self.variables):
+            if subset:
+                values[subset] = solution.value(entropy_variable_name(subset))
+        return SetFunction(self.variables, values)
+
+
+def polymatroid_bound(query: ConjunctiveQuery | Iterable[str],
+                      statistics: ConstraintSet) -> BoundResult:
+    """The polymatroid bound of a CQ (or of a plain variable set).
+
+    For a :class:`ConjunctiveQuery` the bound is on ``h(F)`` where ``F`` is
+    the query's free-variable set; the ground set of the LP is the union of
+    the query's variables and the statistics' variables, as in Theorem 4.1.
+    Passing a bare variable set bounds ``h`` of that set — this is how bag
+    sub-queries are costed in Eq. (21).
+    """
+    if isinstance(query, ConjunctiveQuery):
+        target = query.free_variables
+        variables = query.variables
+    else:
+        target = frozenset(query)
+        variables = target
+    if not target:
+        # A Boolean query has output size at most 1: exponent 0.
+        empty = SetFunction(variables | statistics.variables, {})
+        return BoundResult(exponent=0.0, size_bound=1.0, polymatroid=empty,
+                           lp_summary="boolean query: output size 1")
+    builder = PolymatroidProgram(variables, statistics, name="polymatroid-bound")
+    solution = builder.maximize_single(target)
+    exponent = solution.objective
+    return BoundResult(
+        exponent=exponent,
+        size_bound=statistics.size_from_exponent(exponent),
+        polymatroid=builder.solution_polymatroid(solution),
+        lp_summary=builder.program.describe(),
+    )
+
+
+def ddr_polymatroid_bound(targets: Sequence[Iterable[str]],
+                          statistics: ConstraintSet,
+                          variables: Iterable[str] = ()) -> BoundResult:
+    """The polymatroid bound of a DDR with the given head targets (Theorem 5.1).
+
+    ``targets`` is the list of bag variable sets in one bag selector; the
+    bound is ``max_h min_B h(B)``.
+    """
+    target_sets = [frozenset(target) for target in targets]
+    if not target_sets:
+        raise ValueError("a DDR needs at least one head target")
+    ground = frozenset(variables) | frozenset().union(*target_sets)
+    builder = PolymatroidProgram(ground, statistics, name="ddr-bound")
+    solution = builder.maximize_min(target_sets)
+    exponent = solution.objective
+    return BoundResult(
+        exponent=exponent,
+        size_bound=statistics.size_from_exponent(exponent),
+        polymatroid=builder.solution_polymatroid(solution),
+        lp_summary=builder.program.describe(),
+    )
+
+
+def output_size_bound(query: ConjunctiveQuery, statistics: ConstraintSet) -> float:
+    """Convenience wrapper: the worst-case output size bound in tuples."""
+    return polymatroid_bound(query, statistics).size_bound

@@ -1,0 +1,31 @@
+"""Synthetic data and workload generators for the experiments."""
+
+from repro.datagen.graphs import (
+    erdos_renyi_edges,
+    functional_relation,
+    hard_four_cycle_instance,
+    random_binary_relation,
+    random_graph_database,
+    skewed_binary_relation,
+)
+from repro.datagen.workloads import (
+    Workload,
+    four_cycle_hard_workload,
+    four_cycle_random_workload,
+    path_workload,
+    triangle_workload,
+)
+
+__all__ = [
+    "random_binary_relation",
+    "skewed_binary_relation",
+    "hard_four_cycle_instance",
+    "random_graph_database",
+    "erdos_renyi_edges",
+    "functional_relation",
+    "Workload",
+    "four_cycle_hard_workload",
+    "four_cycle_random_workload",
+    "triangle_workload",
+    "path_workload",
+]

@@ -1,0 +1,137 @@
+"""Synthetic data generators for the experiments.
+
+The paper's motivating workloads are graph-pattern queries over binary
+relations, so the generators here produce binary (and a few higher-arity)
+relations with controlled size, skew and structure:
+
+* uniform random relations over a bounded domain;
+* power-law (Zipf-like) skewed relations, which separate worst-case-optimal
+  joins from binary-join plans;
+* the *fhtw-hard* 4-cycle family of Section 5.1
+  (``R = S = T = U = ([N/2] × {1}) ∪ ({1} × [N/2])``), on which every static
+  plan materialises Ω(N²) tuples while the adaptive plan stays at O(N^{3/2});
+* Erdős–Rényi style random graphs encoded as edge relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def random_binary_relation(name: str, size: int, domain: int,
+                           seed: int | None = None,
+                           columns: tuple[str, str] = ("a", "b")) -> Relation:
+    """A uniform random binary relation with ``size`` distinct tuples."""
+    rng = random.Random(seed)
+    if domain * domain < size:
+        raise ValueError("the domain is too small to hold that many distinct tuples")
+    rows: set[tuple] = set()
+    while len(rows) < size:
+        rows.add((rng.randrange(domain), rng.randrange(domain)))
+    return Relation(name, columns, rows)
+
+
+def skewed_binary_relation(name: str, size: int, domain: int, skew: float = 1.2,
+                           seed: int | None = None,
+                           columns: tuple[str, str] = ("a", "b")) -> Relation:
+    """A binary relation whose first column follows a Zipf-like distribution."""
+    rng = random.Random(seed)
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(domain)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    rows: set[tuple] = set()
+    attempts = 0
+    while len(rows) < size and attempts < 50 * size:
+        attempts += 1
+        first = rng.choices(range(domain), weights=weights, k=1)[0]
+        second = rng.randrange(domain)
+        rows.add((first, second))
+    return Relation(name, columns, rows)
+
+
+def hard_four_cycle_instance(size: int,
+                             relation_names: Sequence[str] = ("R", "S", "T", "U")) -> Database:
+    """The Section-5.1 instance ``([N/2] × {1}) ∪ ({1} × [N/2])`` for each relation.
+
+    Every relation has exactly ``size`` tuples (``size`` must be even): half of
+    them share the value 1 in the second column, half share it in the first.
+    Any single tree decomposition of the 4-cycle materialises a bag of size
+    ``(N/2)² = Ω(N²)`` on this instance, whereas the adaptive plan's
+    heavy/light partitioning keeps every intermediate at ``O(N^{3/2})``.
+    """
+    if size % 2 != 0 or size < 2:
+        raise ValueError("the hard instance needs an even size of at least 2")
+    half = size // 2
+    rows = {(value, 1) for value in range(2, half + 2)}
+    rows |= {(1, value) for value in range(2, half + 2)}
+    database = Database()
+    for name in relation_names:
+        database.add(Relation(name, ("a", "b"), rows))
+    return database
+
+
+def random_graph_database(query: ConjunctiveQuery, size: int, domain: int,
+                          seed: int | None = None,
+                          skew: float | None = None) -> Database:
+    """One random relation per *relation symbol* of ``query``.
+
+    Binary atoms get binary relations; higher-arity atoms get uniform random
+    relations of the matching arity.  Self-joins reuse the same relation for
+    every atom with the same symbol, as the semantics requires.
+    """
+    rng = random.Random(seed)
+    database = Database()
+    for symbol in dict.fromkeys(query.relation_names):
+        arity = len(next(a for a in query.atoms if a.relation == symbol).variables)
+        columns = tuple(f"c{i + 1}" for i in range(arity))
+        if arity == 2:
+            if skew:
+                relation = skewed_binary_relation(symbol, size, domain, skew=skew,
+                                                  seed=rng.randrange(1 << 30),
+                                                  columns=columns)
+            else:
+                relation = random_binary_relation(symbol, size, domain,
+                                                  seed=rng.randrange(1 << 30),
+                                                  columns=columns)
+        else:
+            rows: set[tuple] = set()
+            attempts = 0
+            while len(rows) < size and attempts < 50 * size:
+                attempts += 1
+                rows.add(tuple(rng.randrange(domain) for _ in range(arity)))
+            relation = Relation(symbol, columns, rows)
+        database.add(relation)
+    return database
+
+
+def erdos_renyi_edges(name: str, vertices: int, probability: float,
+                      seed: int | None = None,
+                      columns: tuple[str, str] = ("a", "b")) -> Relation:
+    """A directed Erdős–Rényi graph G(n, p) as an edge relation (no self-loops)."""
+    rng = random.Random(seed)
+    rows = [(u, v) for u in range(vertices) for v in range(vertices)
+            if u != v and rng.random() < probability]
+    return Relation(name, columns, rows)
+
+
+def functional_relation(name: str, size: int, fan_in: int,
+                        columns: tuple[str, str] = ("a", "b"),
+                        seed: int | None = None) -> Relation:
+    """A relation satisfying the FD ``first → second`` with bounded reverse degree.
+
+    Useful for exercising the paper's ``S□full`` statistics (Eq. (16)): the
+    relation has ``size`` tuples, each first-column value appears once, and
+    each second-column value is shared by at most ``fan_in`` first values.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for key in range(size):
+        group = key // max(fan_in, 1)
+        rows.append((key, group))
+    rng.shuffle(rows)
+    return Relation(name, columns, rows)

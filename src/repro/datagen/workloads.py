@@ -1,0 +1,86 @@
+"""Named workloads used by the benchmark harness.
+
+Every benchmark in ``benchmarks/`` pulls its data through one of these
+factories so the parameters (sizes, domains, seeds) are recorded in one place
+and the runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.graphs import (
+    hard_four_cycle_instance,
+    random_graph_database,
+)
+from repro.query.cq import ConjunctiveQuery
+from repro.query.library import (
+    four_cycle_projected,
+    triangle_query,
+    path_query,
+)
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A query together with a database instance and a short description."""
+
+    name: str
+    query: ConjunctiveQuery
+    database: Database
+    description: str
+
+    @property
+    def input_size(self) -> int:
+        return self.database.max_relation_size()
+
+
+def four_cycle_hard_workload(size: int) -> Workload:
+    """The adaptive-vs-static showdown of experiment E5."""
+    return Workload(
+        name=f"four-cycle-hard-N{size}",
+        query=four_cycle_projected(),
+        database=hard_four_cycle_instance(size),
+        description=("4-cycle query on the Section-5.1 skewed instance; every "
+                     "static plan is Ω(N²) while PANDA stays at O(N^{3/2})"),
+    )
+
+
+def four_cycle_random_workload(size: int, domain: int | None = None,
+                               seed: int = 7) -> Workload:
+    """A uniform random 4-cycle workload (baseline comparisons)."""
+    query = four_cycle_projected()
+    domain = domain or max(4, int(size ** 0.75))
+    return Workload(
+        name=f"four-cycle-random-N{size}",
+        query=query,
+        database=random_graph_database(query, size, domain, seed=seed),
+        description="4-cycle query on uniform random binary relations",
+    )
+
+
+def triangle_workload(size: int, domain: int | None = None, seed: int = 11,
+                      skew: float | None = None) -> Workload:
+    """Triangle listing (experiment E9: AGM bound vs worst-case optimal join)."""
+    query = triangle_query()
+    domain = domain or max(4, int(size ** 0.6))
+    return Workload(
+        name=f"triangle-N{size}" + ("-skewed" if skew else ""),
+        query=query,
+        database=random_graph_database(query, size, domain, seed=seed, skew=skew),
+        description="triangle query on random binary relations",
+    )
+
+
+def path_workload(length: int, size: int, domain: int | None = None,
+                  seed: int = 13) -> Workload:
+    """An acyclic chain query (experiment E6: Yannakakis linearity)."""
+    query = path_query(length, free_variables=("X1", f"X{length + 1}"))
+    domain = domain or max(4, size // 4)
+    return Workload(
+        name=f"path{length}-N{size}",
+        query=query,
+        database=random_graph_database(query, size, domain, seed=seed),
+        description=f"{length}-hop path query (free-connex acyclic)",
+    )

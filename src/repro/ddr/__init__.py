@@ -1,0 +1,9 @@
+"""Disjunctive datalog rules and bag selectors (Section 5)."""
+
+from repro.ddr.rule import DisjunctiveDatalogRule, bag_selectors, ddrs_for_query
+
+__all__ = [
+    "DisjunctiveDatalogRule",
+    "bag_selectors",
+    "ddrs_for_query",
+]

@@ -1,0 +1,152 @@
+"""Disjunctive datalog rules and bag selectors (Sections 5.1–5.2).
+
+An adaptive query plan for a CQ ``Q`` writes one disjunctive rule whose head
+is ``∨_T ∧_{B ∈ bags(T)} Q_B(B)`` over the free-connex tree decompositions
+``T ∈ TD(Q)``.  Distributing ``∨`` over ``∧`` turns this into a conjunction of
+*disjunctive datalog rules* (DDRs), one per *bag selector*: a choice of one
+bag from every decomposition.  This module provides the DDR value objects, the
+bag-selector enumeration and a (brute-force) model checker used by the tests
+to confirm that PANDA's outputs really are models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Mapping, Sequence
+
+from repro.algorithms.bruteforce import full_join_of_query
+from repro.decompositions.treedecomp import TreeDecomposition
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.utils.varsets import format_varset
+
+
+@dataclass(frozen=True)
+class DisjunctiveDatalogRule:
+    """A DDR ``∨_{B ∈ targets} Q_B(B) :- body(Q)`` (Eq. (34)).
+
+    ``targets`` is the tuple of head variable sets (one per disjunct); the
+    body is the body of the conjunctive query ``query``.
+    """
+
+    query: ConjunctiveQuery
+    targets: tuple[frozenset[str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("a DDR needs at least one head target")
+        for target in self.targets:
+            if not target <= self.query.variables:
+                raise ValueError(
+                    f"target {format_varset(target)} uses variables outside the body")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.query.variables
+
+    def head_description(self) -> str:
+        return " ∨ ".join(f"Q{format_varset(target)}" for target in self.targets)
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(str(atom) for atom in self.query.atoms)
+        return f"{self.head_description()} :- {body}"
+
+    # -------------------------------------------------------- model checking
+    def is_model(self, database: Database,
+                 head_relations: Mapping[frozenset[str], Relation]) -> bool:
+        """Brute-force check that the given head relations form a model.
+
+        For every tuple satisfying the body there must exist at least one
+        target ``B`` whose relation contains the tuple's projection onto ``B``.
+        Only used by tests and small examples (it materialises the body join).
+        """
+        body = full_join_of_query(self.query, database)
+        for row in body:
+            assignment = dict(zip(body.columns, row))
+            if not self._tuple_covered(assignment, head_relations):
+                return False
+        return True
+
+    def uncovered_tuples(self, database: Database,
+                         head_relations: Mapping[frozenset[str], Relation]) -> list[dict]:
+        """The body tuples not covered by any head relation (empty for a model)."""
+        body = full_join_of_query(self.query, database)
+        missing = []
+        for row in body:
+            assignment = dict(zip(body.columns, row))
+            if not self._tuple_covered(assignment, head_relations):
+                missing.append(assignment)
+        return missing
+
+    def _tuple_covered(self, assignment: Mapping[str, object],
+                       head_relations: Mapping[frozenset[str], Relation]) -> bool:
+        for target in self.targets:
+            relation = head_relations.get(target)
+            if relation is None:
+                continue
+            projected = tuple(assignment[column] for column in relation.columns)
+            if projected in relation:
+                return True
+        return False
+
+    def minimal_model_size(self, database: Database) -> int:
+        """``min over models of max_B |Q_B|`` computed by direct construction.
+
+        The greedy construction from Section 5.2's proof — insert each body
+        tuple into the targets only when no target already covers it — yields
+        a model whose max size is within a factor ``|targets|`` of optimal and
+        is what the worst-case bound (Theorem 5.1) is compared against in the
+        experiments.
+        """
+        body = full_join_of_query(self.query, database)
+        heads: dict[frozenset[str], set[tuple]] = {target: set() for target in self.targets}
+        columns = {target: sorted(target) for target in self.targets}
+        for row in body:
+            assignment = dict(zip(body.columns, row))
+            projections = {
+                target: tuple(assignment[c] for c in columns[target])
+                for target in self.targets
+            }
+            if any(projections[target] in heads[target] for target in self.targets):
+                continue
+            for target in self.targets:
+                heads[target].add(projections[target])
+        if not heads:
+            return 0
+        return max(len(rows) for rows in heads.values())
+
+
+def bag_selectors(decompositions: Sequence[TreeDecomposition]) -> list[tuple[frozenset[str], ...]]:
+    """All bag selectors ``BS(Q)``: one bag from each decomposition (Eq. (32)).
+
+    Selectors that contain two comparable bags keep only the smaller one
+    (choosing the larger bag can never help the inner max-min LP), and
+    duplicate selectors are collapsed.
+    """
+    if not decompositions:
+        return []
+    selectors: list[tuple[frozenset[str], ...]] = []
+    seen: set[frozenset[frozenset[str]]] = set()
+    for choice in product(*(td.bags for td in decompositions)):
+        reduced = _drop_superset_bags(choice)
+        key = frozenset(reduced)
+        if key in seen:
+            continue
+        seen.add(key)
+        selectors.append(reduced)
+    return selectors
+
+
+def _drop_superset_bags(choice: Iterable[frozenset[str]]) -> tuple[frozenset[str], ...]:
+    bags = list(dict.fromkeys(choice))
+    kept = [bag for bag in bags if not any(other < bag for other in bags)]
+    return tuple(sorted(kept, key=lambda bag: (len(bag), sorted(bag))))
+
+
+def ddrs_for_query(query: ConjunctiveQuery,
+                   decompositions: Sequence[TreeDecomposition]) -> list[DisjunctiveDatalogRule]:
+    """The DDRs of the adaptive plan of ``query`` over the given decompositions."""
+    return [DisjunctiveDatalogRule(query, selector)
+            for selector in bag_selectors(decompositions)]

@@ -1,0 +1,37 @@
+"""Entropy, polymatroids and Shannon inequalities (Section 3.3)."""
+
+from repro.entropy.setfunc import SetFunction, modular_function, uniform_step_function
+from repro.entropy.elemental import (
+    ElementalInequality,
+    count_elemental_inequalities,
+    elemental_inequalities,
+    elemental_monotonicities,
+    elemental_submodularities,
+    monotonicity,
+    submodularity,
+)
+from repro.entropy.empirical import (
+    entropy_of_distribution,
+    entropy_vector,
+    marginal_probabilities,
+    normalized_entropy_vector,
+    uniform_output_entropy,
+)
+
+__all__ = [
+    "SetFunction",
+    "uniform_step_function",
+    "modular_function",
+    "ElementalInequality",
+    "monotonicity",
+    "submodularity",
+    "elemental_monotonicities",
+    "elemental_submodularities",
+    "elemental_inequalities",
+    "count_elemental_inequalities",
+    "entropy_of_distribution",
+    "entropy_vector",
+    "normalized_entropy_vector",
+    "uniform_output_entropy",
+    "marginal_probabilities",
+]

@@ -1,0 +1,103 @@
+"""Empirical entropy vectors of concrete data (Section 4.2, Figure 2).
+
+The paper's central argument starts from a *uniform distribution over the
+output tuples* of a query; the joint entropy of that distribution, restricted
+to each subset of variables, forms an entropic set function.  This module
+computes such entropy vectors for arbitrary discrete distributions over the
+rows of a relation, in bits or in the paper's ``log_N`` scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.entropy.setfunc import SetFunction
+from repro.relational.relation import Relation
+from repro.utils.varsets import powerset
+
+
+def entropy_of_distribution(probabilities: Mapping[tuple, float]) -> float:
+    """Shannon entropy (in bits) of a discrete distribution given as a mapping."""
+    entropy = 0.0
+    for probability in probabilities.values():
+        if probability > 0:
+            entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def marginal_distribution(probabilities: Mapping[tuple, float],
+                          columns: tuple[str, ...],
+                          keep: frozenset[str]) -> dict[tuple, float]:
+    """Marginalise a distribution over ``columns`` onto the columns in ``keep``."""
+    indices = [i for i, column in enumerate(columns) if column in keep]
+    marginal: dict[tuple, float] = {}
+    for row, probability in probabilities.items():
+        key = tuple(row[i] for i in indices)
+        marginal[key] = marginal.get(key, 0.0) + probability
+    return marginal
+
+
+def entropy_vector(relation: Relation,
+                   probabilities: Mapping[tuple, float] | None = None,
+                   log_base: float = 2.0) -> SetFunction:
+    """The full entropy vector of a distribution supported on a relation.
+
+    Parameters
+    ----------
+    relation:
+        The support; its columns are the random variables.
+    probabilities:
+        Optional probability per row; defaults to the uniform distribution
+        over the rows (the construction used throughout the paper).
+    log_base:
+        Base of the logarithm.  Use the input size ``N`` to obtain the
+        normalised set function ``h̄ = h / log N`` of Section 4.2.
+    """
+    if len(relation) == 0:
+        raise ValueError("cannot build an entropy vector from an empty relation")
+    if probabilities is None:
+        probability = 1.0 / len(relation)
+        probabilities = {row: probability for row in relation}
+    else:
+        total = sum(probabilities.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+    scale = math.log2(log_base)
+    values: dict[frozenset[str], float] = {}
+    for subset in powerset(relation.columns):
+        if not subset:
+            continue
+        marginal = marginal_distribution(probabilities, relation.columns, subset)
+        values[subset] = entropy_of_distribution(marginal) / scale
+    return SetFunction(frozenset(relation.columns), values)
+
+
+def normalized_entropy_vector(relation: Relation, reference_size: float,
+                              probabilities: Mapping[tuple, float] | None = None) -> SetFunction:
+    """The set function ``h̄ = h / log N`` used to compare against statistics.
+
+    With the uniform distribution over the rows of ``relation`` this satisfies
+    ``h̄(all columns) = log_N |relation|``, exactly as in Section 4.2.
+    """
+    if reference_size <= 1:
+        raise ValueError("the reference size N must be larger than 1")
+    return entropy_vector(relation, probabilities=probabilities, log_base=reference_size)
+
+
+def uniform_output_entropy(relation: Relation) -> SetFunction:
+    """Entropy vector (in bits) of the uniform distribution over ``relation``."""
+    return entropy_vector(relation, probabilities=None, log_base=2.0)
+
+
+def marginal_probabilities(relation: Relation, keep: frozenset[str],
+                           probabilities: Mapping[tuple, float] | None = None) -> dict[tuple, float]:
+    """Marginal probabilities of the (default: uniform) distribution on a relation.
+
+    Used to regenerate the red annotations of Figure 2: the marginal
+    probability of each input tuple under the uniform output distribution.
+    """
+    if probabilities is None:
+        probability = 1.0 / len(relation)
+        probabilities = {row: probability for row in relation}
+    return marginal_distribution(probabilities, relation.columns, keep)

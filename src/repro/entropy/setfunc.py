@@ -1,0 +1,154 @@
+"""Set functions over subsets of a variable set (Section 3.3).
+
+A :class:`SetFunction` stores a value ``h(S)`` for every subset ``S`` of a
+ground set of variables.  Entropy vectors of probability distributions and the
+polymatroids optimised over by the bound LPs are both set functions; this
+module provides the shared plumbing: evaluation, conditional values
+``h(Y|X) = h(XY) − h(X)``, and checks of the basic Shannon inequalities
+(monotonicity and submodularity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.utils.varsets import format_varset, powerset, varset
+
+
+class SetFunction:
+    """A function ``h : 2^V -> R`` with ``h(∅) = 0``.
+
+    Values may be given for a subset of the lattice; missing values default to
+    ``None`` and cause an error when queried, except for the empty set which
+    is always 0.
+    """
+
+    def __init__(self, variables: Iterable[str],
+                 values: Mapping[frozenset[str], float] | None = None) -> None:
+        self.variables = frozenset(variables)
+        self._values: dict[frozenset[str], float] = {frozenset(): 0.0}
+        if values:
+            for subset, value in values.items():
+                self[frozenset(subset)] = value
+
+    # --------------------------------------------------------------- storage
+    def __setitem__(self, subset: Iterable[str] | str, value: float) -> None:
+        key = varset(subset) if isinstance(subset, str) else frozenset(subset)
+        if not key <= self.variables:
+            raise KeyError(
+                f"{format_varset(frozenset(key))} is not a subset of the ground set "
+                f"{format_varset(self.variables)}"
+            )
+        if not key:
+            if abs(value) > 1e-12:
+                raise ValueError("h(∅) must be 0")
+            return
+        self._values[key] = float(value)
+
+    def __getitem__(self, subset: Iterable[str] | str) -> float:
+        key = varset(subset) if isinstance(subset, str) else frozenset(subset)
+        if not key:
+            return 0.0
+        try:
+            return self._values[key]
+        except KeyError as exc:
+            raise KeyError(
+                f"no value stored for {format_varset(frozenset(key))}") from exc
+
+    def __contains__(self, subset: Iterable[str] | str) -> bool:
+        key = varset(subset) if isinstance(subset, str) else frozenset(subset)
+        return not key or key in self._values
+
+    def items(self):
+        return self._values.items()
+
+    def is_complete(self) -> bool:
+        """True when a value is stored for every subset of the ground set."""
+        return all(subset in self._values or not subset
+                   for subset in powerset(self.variables))
+
+    # ------------------------------------------------------------ evaluation
+    def conditional(self, target: Iterable[str] | str,
+                    given: Iterable[str] | str = ()) -> float:
+        """``h(target | given) = h(target ∪ given) − h(given)``."""
+        target_set = varset(target) if isinstance(target, str) else frozenset(target)
+        given_set = varset(given) if isinstance(given, str) else frozenset(given)
+        return self[target_set | given_set] - self[given_set]
+
+    def mutual_information(self, left: Iterable[str] | str,
+                           right: Iterable[str] | str,
+                           given: Iterable[str] | str = ()) -> float:
+        """Conditional mutual information ``I(left ; right | given)``."""
+        left_set = varset(left) if isinstance(left, str) else frozenset(left)
+        right_set = varset(right) if isinstance(right, str) else frozenset(right)
+        given_set = varset(given) if isinstance(given, str) else frozenset(given)
+        return (self[left_set | given_set] + self[right_set | given_set]
+                - self[left_set | right_set | given_set] - self[given_set])
+
+    # ------------------------------------------------------------ properties
+    def is_monotone(self, tolerance: float = 1e-9) -> bool:
+        """Check monotonicity ``h(X) <= h(X ∪ Y)`` on all stored pairs."""
+        subsets = sorted(self._values, key=len)
+        for small in subsets:
+            for large in subsets:
+                if small < large and self._values[small] > self._values[large] + tolerance:
+                    return False
+        return True
+
+    def is_submodular(self, tolerance: float = 1e-9) -> bool:
+        """Check submodularity ``h(X) + h(Y) >= h(X∪Y) + h(X∩Y)``.
+
+        Requires the function to be complete over its ground set.
+        """
+        if not self.is_complete():
+            raise ValueError("submodularity check requires a complete set function")
+        universe = sorted(self.variables)
+        for subset in powerset(universe):
+            remaining = sorted(self.variables - subset)
+            for i, first in enumerate(remaining):
+                for second in remaining[i + 1:]:
+                    left = self[subset | {first}] + self[subset | {second}]
+                    right = self[subset | {first, second}] + self[subset]
+                    if left + tolerance < right:
+                        return False
+        return True
+
+    def is_polymatroid(self, tolerance: float = 1e-9) -> bool:
+        """Check all basic Shannon inequalities (Eq. (4)-(6))."""
+        if not self.is_complete():
+            raise ValueError("polymatroid check requires a complete set function")
+        if any(value < -tolerance for value in self._values.values()):
+            return False
+        return self.is_monotone(tolerance) and self.is_submodular(tolerance)
+
+    # ----------------------------------------------------------------- misc
+    def scaled(self, factor: float) -> "SetFunction":
+        """A new set function with every value multiplied by ``factor``."""
+        return SetFunction(self.variables,
+                           {subset: value * factor for subset, value in self.items()})
+
+    def __str__(self) -> str:
+        parts = [f"h{format_varset(subset)}={value:.4g}"
+                 for subset, value in sorted(self.items(), key=lambda kv: (len(kv[0]), sorted(kv[0])))]
+        return "SetFunction(" + ", ".join(parts) + ")"
+
+
+def uniform_step_function(variables: Iterable[str], value: float = 1.0) -> SetFunction:
+    """The polymatroid ``h(S) = value`` for every non-empty ``S``.
+
+    This is the counting device used by the paper in Section 7.1 to argue that
+    an identity always has at least as many unconditional source terms as
+    target terms.
+    """
+    variables = frozenset(variables)
+    values = {subset: (value if subset else 0.0) for subset in powerset(variables)}
+    return SetFunction(variables, values)
+
+
+def modular_function(weights: Mapping[str, float]) -> SetFunction:
+    """The modular polymatroid ``h(S) = Σ_{v ∈ S} weights[v]``."""
+    variables = frozenset(weights)
+    values = {}
+    for subset in powerset(variables):
+        values[subset] = sum(weights[v] for v in subset)
+    return SetFunction(variables, values)

@@ -1,0 +1,46 @@
+"""Shannon-flow inequalities, proof sequences and the Reset lemma (Sections 6.2, 7)."""
+
+from repro.flows.proof_steps import (
+    CompositionStep,
+    DecompositionStep,
+    MonotonicityStep,
+    ProofStep,
+    ProofStepError,
+    SubmodularityStep,
+    Term,
+    unconditional,
+)
+from repro.flows.shannon_flow import (
+    IntegralShannonFlow,
+    ShannonFlowError,
+    ShannonFlowInequality,
+    find_shannon_flow,
+    shannon_flow_for_cq,
+)
+from repro.flows.proof_sequence import (
+    ProofSequence,
+    ProofSequenceError,
+    construct_proof_sequence,
+)
+from repro.flows.reset import ResetError, reset
+
+__all__ = [
+    "Term",
+    "unconditional",
+    "ProofStep",
+    "ProofStepError",
+    "DecompositionStep",
+    "CompositionStep",
+    "MonotonicityStep",
+    "SubmodularityStep",
+    "ShannonFlowInequality",
+    "IntegralShannonFlow",
+    "ShannonFlowError",
+    "find_shannon_flow",
+    "shannon_flow_for_cq",
+    "ProofSequence",
+    "ProofSequenceError",
+    "construct_proof_sequence",
+    "reset",
+    "ResetError",
+]

@@ -1,0 +1,245 @@
+"""Proof sequences for integral Shannon-flow inequalities (Section 7.1).
+
+Given an integral Shannon-flow inequality together with its identity form
+(target terms = source terms + residuals of basic Shannon inequalities), this
+module constructs a sequence of proof steps — decomposition, composition,
+monotonicity, submodularity — that transforms the source terms into the target
+terms, exactly as in Table 1 of the paper.
+
+The construction repeatedly picks an unconditional source term ``h(W)``:
+
+* if ``W`` is a (remaining) target, the term *produces* that target;
+* otherwise ``W`` must be cancelled by a negative occurrence on the right-hand
+  side, which is either a conditional source ``h(Z|W)`` (→ composition step),
+  a submodularity residual with a negative ``h(W)`` (→ decomposition +
+  submodularity steps), or a monotonicity residual (→ monotonicity step).
+
+A counting argument (evaluate the identity on the all-ones polymatroid)
+guarantees an unconditional source exists while targets remain, and a
+lexicographic potential argument shows the procedure terminates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.entropy.elemental import ElementalInequality
+from repro.flows.proof_steps import (
+    CompositionStep,
+    DecompositionStep,
+    MonotonicityStep,
+    ProofStep,
+    SubmodularityStep,
+    Term,
+)
+from repro.flows.shannon_flow import IntegralShannonFlow
+from repro.utils.varsets import format_varset
+
+
+class ProofSequenceError(RuntimeError):
+    """Raised when a proof sequence cannot be constructed or fails to verify."""
+
+
+@dataclass
+class ProofSequence:
+    """A verified proof sequence for an integral Shannon-flow inequality."""
+
+    initial_sources: Counter
+    targets: Counter
+    steps: list[ProofStep] = field(default_factory=list)
+
+    def replay(self) -> Counter:
+        """Apply every step to the initial sources and return the final terms."""
+        terms = Counter(self.initial_sources)
+        for step in self.steps:
+            step.apply(terms)
+        return terms
+
+    def verify(self) -> bool:
+        """Check that the steps are applicable and produce every target term."""
+        try:
+            final = self.replay()
+        except Exception:
+            return False
+        for target, count in self.targets.items():
+            if final[Term(target)] < count:
+                return False
+        return True
+
+    def describe(self) -> str:
+        lines = ["proof sequence:"]
+        lines.extend(f"  {index + 1}. {step}" for index, step in enumerate(self.steps))
+        targets = " + ".join(f"{count}·h{format_varset(target)}"
+                             for target, count in self.targets.items())
+        lines.append(f"  produces: {targets}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# residual destructuring helpers
+# ---------------------------------------------------------------------------
+
+def _submodularity_parts(inequality: ElementalInequality) -> tuple[frozenset, frozenset, frozenset]:
+    """Recover (first, second, context) from a submodularity's coefficients.
+
+    The inequality is ``h(A∪C) + h(B∪C) − h(A∪B∪C) − h(C) >= 0``; the two
+    ``+1`` subsets are ``A∪C`` and ``B∪C`` (their intersection is ``C``).
+    """
+    positives = [subset for subset, coeff in inequality.coefficients if coeff > 0]
+    if len(positives) == 1:
+        # C = ∅ and the union coincides with one of the parts cannot happen for
+        # disjoint non-empty A, B; a single positive would be malformed.
+        raise ProofSequenceError(f"malformed submodularity: {inequality}")
+    first_part, second_part = positives[0], positives[1]
+    context = first_part & second_part
+    return first_part - context, second_part - context, context
+
+
+def _monotonicity_parts(inequality: ElementalInequality) -> tuple[frozenset, frozenset]:
+    """Recover (larger, smaller) from a monotonicity's coefficients."""
+    larger = next(subset for subset, coeff in inequality.coefficients if coeff > 0)
+    smaller = next((subset for subset, coeff in inequality.coefficients if coeff < 0),
+                   frozenset())
+    return larger, smaller
+
+
+def _negative_subsets(inequality: ElementalInequality) -> list[frozenset]:
+    """Subsets with a negative coefficient in the *residual* form.
+
+    The residual (the expression added to the RHS of the identity) is the
+    negation of the inequality's left-hand side, so residual-negative subsets
+    are the inequality's positive-coefficient subsets.
+    """
+    return [subset for subset, coeff in inequality.coefficients if coeff > 0]
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+def construct_proof_sequence(flow: IntegralShannonFlow,
+                             max_steps: int = 100_000) -> ProofSequence:
+    """Construct (and verify) a proof sequence for an integral Shannon flow."""
+    if not flow.verify():
+        raise ProofSequenceError("the integral Shannon flow's identity does not hold")
+    sources: Counter = Counter(flow.sources)
+    residuals: Counter = Counter(flow.witness)
+    remaining_targets: Counter = Counter(flow.targets)
+    steps: list[ProofStep] = []
+
+    iterations = 0
+    while sum(remaining_targets.values()) > 0:
+        iterations += 1
+        if iterations > max_steps:
+            raise ProofSequenceError("proof sequence construction did not terminate")
+        term = _pick_unconditional_source(sources, remaining_targets)
+        if term is None:
+            raise ProofSequenceError(
+                "no unconditional source term available while targets remain; "
+                "the identity form is inconsistent")
+        subset = term.target
+        if remaining_targets[subset] > 0:
+            # The source *is* a target: produce it (no proof step required).
+            remaining_targets[subset] -= 1
+            if remaining_targets[subset] == 0:
+                del remaining_targets[subset]
+            sources[term] -= 1
+            if sources[term] == 0:
+                del sources[term]
+            continue
+        applied = (_try_composition(subset, sources, steps)
+                   or _try_monotonicity(subset, sources, residuals, steps)
+                   or _try_submodularity(subset, sources, residuals, steps))
+        if not applied:
+            raise ProofSequenceError(
+                f"unconditional source h{format_varset(subset)} has no cancellation "
+                "partner; the identity form is inconsistent")
+
+    sequence = ProofSequence(initial_sources=Counter(flow.sources),
+                             targets=Counter(flow.targets), steps=steps)
+    if not sequence.verify():
+        raise ProofSequenceError("constructed proof sequence failed verification")
+    return sequence
+
+
+def _pick_unconditional_source(sources: Counter, remaining_targets: Counter) -> Term | None:
+    """Pick an unconditional source, preferring one that is still a target."""
+    unconditional = [term for term, count in sources.items()
+                     if count > 0 and term.is_unconditional]
+    if not unconditional:
+        return None
+    for term in sorted(unconditional, key=lambda t: (len(t.target), sorted(t.target))):
+        if remaining_targets.get(term.target, 0) > 0:
+            return term
+    return min(unconditional, key=lambda t: (len(t.target), sorted(t.target)))
+
+
+def _try_composition(subset: frozenset, sources: Counter, steps: list[ProofStep]) -> bool:
+    """Cancel ``h(W)`` against a conditional source ``h(Z|W)`` via composition."""
+    partner = next((term for term, count in sources.items()
+                    if count > 0 and term.given == subset), None)
+    if partner is None:
+        return False
+    step = CompositionStep(given=subset, target=partner.target)
+    _consume(sources, Term(subset))
+    _consume(sources, partner)
+    sources[Term(subset | partner.target)] += 1
+    steps.append(step)
+    return True
+
+
+def _try_monotonicity(subset: frozenset, sources: Counter, residuals: Counter,
+                      steps: list[ProofStep]) -> bool:
+    """Cancel ``h(W)`` against a monotonicity residual ``−h(W) + h(smaller)``."""
+    for inequality, count in residuals.items():
+        if count <= 0 or inequality.kind != "monotonicity":
+            continue
+        larger, smaller = _monotonicity_parts(inequality)
+        if larger != subset:
+            continue
+        step = MonotonicityStep(whole=subset, smaller=smaller)
+        _consume(sources, Term(subset))
+        _consume(residuals, inequality)
+        if smaller:
+            sources[Term(smaller)] += 1
+        steps.append(step)
+        return True
+    return False
+
+
+def _try_submodularity(subset: frozenset, sources: Counter, residuals: Counter,
+                       steps: list[ProofStep]) -> bool:
+    """Cancel ``h(W)`` against a submodularity residual containing ``−h(W)``."""
+    for inequality, count in residuals.items():
+        if count <= 0 or inequality.kind != "submodularity":
+            continue
+        if subset not in _negative_subsets(inequality):
+            continue
+        first, second, context = _submodularity_parts(inequality)
+        if subset == first | context:
+            kept, other = first, second
+        else:
+            kept, other = second, first
+        # h(W) = h(kept ∪ context) → h(context) + h(kept | context)
+        #                         → h(context) + h(kept | context ∪ other)
+        _consume(sources, Term(subset))
+        _consume(residuals, inequality)
+        if context:
+            steps.append(DecompositionStep(whole=subset, part=context))
+            sources[Term(context)] += 1
+        steps.append(SubmodularityStep(target=kept, given=context, extra=other))
+        sources[Term(kept, context | other)] += 1
+        return True
+    return False
+
+
+def _consume(counter: Counter, key) -> None:
+    if counter[key] <= 0:
+        raise ProofSequenceError(f"internal error: cannot consume missing {key}")
+    counter[key] -= 1
+    if counter[key] == 0:
+        del counter[key]

@@ -1,0 +1,150 @@
+"""The Reset lemma (Section 7.2).
+
+Given an integral Shannon-flow inequality and an unconditional source term
+``h(W)`` on its right-hand side, the Reset lemma produces another valid
+integral Shannon-flow inequality in which ``h(W)`` no longer appears as a
+source and *at most one* target term has been dropped from the left-hand side.
+
+In the full PANDA algorithm the lemma is invoked whenever a sub-probability
+measure drops below the ``1/B`` threshold: the corresponding source term is
+"reset" (dropped) and the algorithm continues with the smaller inequality.
+The executor in this library uses eager truncation instead (which avoids the
+resets), but the lemma is implemented and tested because it is one of the
+paper's two structural lemmas about Shannon flows.
+
+The procedure follows the paper's inductive argument: chase the term being
+dropped through its cancellation partner.
+
+* partner is a conditional source ``h(Z|W)``: merge them into ``h(WZ)`` and
+  chase ``h(WZ)`` instead;
+* partner is a submodularity residual ``−h(A∪C) − h(B∪C) + h(A∪B∪C) + h(C)``
+  with ``W = A∪C``: replace the chased term by ``h(A∪B∪C)``, replace the
+  submodularity by the monotonicity ``h(B∪C) >= h(C)``, and keep chasing;
+* partner is a monotonicity residual ``−h(W) + h(smaller)``: drop both and
+  chase ``h(smaller)`` (chasing ends immediately if ``smaller = ∅``);
+* the chased term is a target: drop it from both sides — this is the single
+  target the lemma may lose.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.entropy.elemental import ElementalInequality, monotonicity
+from repro.flows.proof_steps import Term
+from repro.flows.proof_sequence import (
+    ProofSequenceError,
+    _monotonicity_parts,
+    _negative_subsets,
+    _submodularity_parts,
+)
+from repro.flows.shannon_flow import IntegralShannonFlow
+from repro.utils.varsets import format_varset
+
+
+class ResetError(RuntimeError):
+    """Raised when the Reset lemma cannot be applied."""
+
+
+def reset(flow: IntegralShannonFlow, drop: Term,
+          max_iterations: int = 10_000) -> IntegralShannonFlow:
+    """Drop one copy of the unconditional source ``drop`` from the inequality.
+
+    Returns a new, verified :class:`IntegralShannonFlow` whose sources no
+    longer include that copy and whose targets lost at most one term.
+    """
+    if not drop.is_unconditional:
+        raise ResetError("the Reset lemma drops unconditional source terms only")
+    if flow.sources.get(drop, 0) <= 0:
+        raise ResetError(f"{drop} is not a source term of the inequality")
+    if not flow.verify():
+        raise ResetError("the input inequality's identity does not hold")
+
+    sources: Counter = Counter(flow.sources)
+    residuals: Counter = Counter(flow.witness)
+    targets: Counter = Counter(flow.targets)
+
+    # Remove the copy being dropped; `chase` is the subset whose +1 excess we
+    # must now eliminate from the right-hand side.
+    _decrement(sources, drop)
+    chase = drop.target
+
+    for _ in range(max_iterations):
+        if targets.get(chase, 0) > 0:
+            _decrement(targets, chase)
+            break
+        partner_term = next((term for term, count in sources.items()
+                             if count > 0 and term.given == chase), None)
+        if partner_term is not None:
+            _decrement(sources, partner_term)
+            chase = chase | partner_term.target
+            continue
+        mono = _find_monotonicity(residuals, chase)
+        if mono is not None:
+            _decrement(residuals, mono)
+            _, smaller = _monotonicity_parts(mono)
+            if not smaller:
+                chase = frozenset()
+                break
+            chase = smaller
+            continue
+        submod = _find_submodularity(residuals, chase)
+        if submod is not None:
+            first, second, context = _submodularity_parts(submod)
+            if chase == first | context:
+                other = second
+            else:
+                other = first
+            _decrement(residuals, submod)
+            if context != (other | context):
+                residuals[monotonicity(other | context, context)] += 1
+            chase = first | second | context
+            continue
+        raise ResetError(
+            f"h{format_varset(chase)} has no cancellation partner; "
+            "the identity form is inconsistent")
+    else:
+        raise ResetError("the Reset lemma chase did not terminate")
+
+    term_sources = {term: pairs for term, pairs in flow.term_sources.items()
+                    if sources.get(term, 0) > 0}
+    result = IntegralShannonFlow(targets=targets, sources=sources, witness=residuals,
+                                 denominator=flow.denominator,
+                                 statistics=flow.statistics,
+                                 term_sources=term_sources)
+    if not _verify_reset_result(result):
+        raise ResetError("the Reset lemma produced an invalid inequality")
+    return result
+
+
+def _verify_reset_result(flow: IntegralShannonFlow) -> bool:
+    """The reset result need not have ‖λ‖=1, only a valid identity with λ, w, σ >= 0."""
+    if any(count < 0 for counter in (flow.targets, flow.sources, flow.witness)
+           for count in counter.values()):
+        return False
+    return not flow.identity_defect()
+
+
+def _decrement(counter: Counter, key) -> None:
+    if counter.get(key, 0) <= 0:
+        raise ProofSequenceError(f"internal error: cannot consume missing {key}")
+    counter[key] -= 1
+    if counter[key] == 0:
+        del counter[key]
+
+
+def _find_monotonicity(residuals: Counter, chase: frozenset) -> ElementalInequality | None:
+    for inequality, count in residuals.items():
+        if count > 0 and inequality.kind == "monotonicity":
+            larger, _ = _monotonicity_parts(inequality)
+            if larger == chase:
+                return inequality
+    return None
+
+
+def _find_submodularity(residuals: Counter, chase: frozenset) -> ElementalInequality | None:
+    for inequality, count in residuals.items():
+        if count > 0 and inequality.kind == "submodularity":
+            if chase in _negative_subsets(inequality):
+                return inequality
+    return None

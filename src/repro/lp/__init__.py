@@ -1,0 +1,27 @@
+"""Linear programming substrate: named LPs over HiGHS plus an exact rational simplex."""
+
+from repro.lp.model import (
+    InfeasibleProgramError,
+    LinearProgram,
+    LPSolution,
+    UnboundedProgramError,
+    solve_max,
+)
+from repro.lp.exact import (
+    ExactLPError,
+    ExactSolution,
+    solve_min_with_inequalities,
+    solve_standard_form,
+)
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "InfeasibleProgramError",
+    "UnboundedProgramError",
+    "solve_max",
+    "ExactLPError",
+    "ExactSolution",
+    "solve_standard_form",
+    "solve_min_with_inequalities",
+]

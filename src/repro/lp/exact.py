@@ -1,0 +1,187 @@
+"""An exact rational simplex solver.
+
+The Shannon-flow certificates of Section 6.2 must be *exact* rational
+inequalities before they can be turned into integral proof sequences
+(Section 7).  The numeric path solves the dual LP with HiGHS and then
+rationalises the answer; this module provides an independent, exact fallback:
+a dense two-phase simplex over :class:`fractions.Fraction`, with Bland's rule
+to guarantee termination.  It is only suitable for small programs (hundreds of
+variables), which is exactly the size of the flow LPs for the queries studied
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+
+class ExactLPError(RuntimeError):
+    """Raised when an exact LP is infeasible or unbounded."""
+
+
+@dataclass
+class ExactSolution:
+    """Solution of an exact LP: optimal objective and variable values."""
+
+    objective: Fraction
+    values: list[Fraction]
+
+
+def _pivot(tableau: list[list[Fraction]], basis: list[int], row: int, col: int) -> None:
+    """Pivot the tableau on (row, col) in place."""
+    pivot_value = tableau[row][col]
+    tableau[row] = [entry / pivot_value for entry in tableau[row]]
+    for other in range(len(tableau)):
+        if other == row:
+            continue
+        factor = tableau[other][col]
+        if factor == 0:
+            continue
+        tableau[other] = [entry - factor * pivot_row_entry
+                          for entry, pivot_row_entry in zip(tableau[other], tableau[row])]
+    basis[row] = col
+
+
+def _run_simplex(tableau: list[list[Fraction]], basis: list[int],
+                 num_columns: int) -> None:
+    """Run the simplex method with Bland's rule until optimality.
+
+    The last row of the tableau is the objective row (to be minimised); the
+    last column is the right-hand side.
+    """
+    objective_row = len(tableau) - 1
+    max_iterations = 50_000
+    for _ in range(max_iterations):
+        entering = None
+        for col in range(num_columns):
+            if tableau[objective_row][col] < 0:
+                entering = col
+                break
+        if entering is None:
+            return
+        leaving = None
+        best_ratio: Fraction | None = None
+        for row in range(objective_row):
+            coefficient = tableau[row][entering]
+            if coefficient > 0:
+                ratio = tableau[row][-1] / coefficient
+                if best_ratio is None or ratio < best_ratio or (
+                        ratio == best_ratio and basis[row] < basis[leaving]):
+                    best_ratio = ratio
+                    leaving = row
+        if leaving is None:
+            raise ExactLPError("linear program is unbounded")
+        _pivot(tableau, basis, leaving, entering)
+    raise ExactLPError("simplex did not converge (iteration cap reached)")
+
+
+def solve_standard_form(costs: Sequence[Fraction | int],
+                        matrix: Sequence[Sequence[Fraction | int]],
+                        rhs: Sequence[Fraction | int]) -> ExactSolution:
+    """Solve ``min c·x  s.t.  A x = b, x >= 0`` exactly.
+
+    Uses the two-phase simplex method: phase one minimises the sum of
+    artificial variables to find a basic feasible solution, phase two
+    optimises the true objective.
+    """
+    num_rows = len(matrix)
+    num_cols = len(costs)
+    cost_row = [Fraction(value) for value in costs]
+    rows = [[Fraction(value) for value in row] for row in matrix]
+    b = [Fraction(value) for value in rhs]
+    if any(len(row) != num_cols for row in rows):
+        raise ValueError("matrix rows must match the number of cost coefficients")
+    if len(b) != num_rows:
+        raise ValueError("rhs length must match the number of rows")
+
+    # Normalise to b >= 0 so artificial variables start feasible.
+    for i in range(num_rows):
+        if b[i] < 0:
+            rows[i] = [-value for value in rows[i]]
+            b[i] = -b[i]
+
+    total_cols = num_cols + num_rows  # original + artificial variables
+    tableau: list[list[Fraction]] = []
+    basis: list[int] = []
+    for i in range(num_rows):
+        row = list(rows[i]) + [Fraction(0)] * num_rows + [b[i]]
+        row[num_cols + i] = Fraction(1)
+        tableau.append(row)
+        basis.append(num_cols + i)
+
+    # Phase one objective: minimise the sum of artificials.
+    phase_one = [Fraction(0)] * (total_cols + 1)
+    for i in range(num_rows):
+        phase_one = [p - entry for p, entry in zip(phase_one, tableau[i])]
+    for j in range(num_cols, total_cols):
+        phase_one[j] += Fraction(1)
+    # Reduce: artificial columns in the basis already have cost 1; subtracting
+    # each row once produces the correct reduced-cost row.
+    tableau.append(phase_one)
+    _run_simplex(tableau, basis, total_cols)
+    if tableau[-1][-1] != 0:
+        raise ExactLPError("linear program is infeasible")
+    tableau.pop()
+
+    # Drive any artificial variables out of the basis if possible.
+    for row_index, basic in enumerate(basis):
+        if basic >= num_cols:
+            pivot_col = next((col for col in range(num_cols)
+                              if tableau[row_index][col] != 0), None)
+            if pivot_col is not None:
+                _pivot(tableau, basis, row_index, pivot_col)
+
+    # Phase two: the real objective, expressed in terms of the current basis.
+    objective = [Fraction(0)] * (total_cols + 1)
+    for j in range(num_cols):
+        objective[j] = cost_row[j]
+    for row_index, basic in enumerate(basis):
+        coefficient = objective[basic]
+        if coefficient != 0:
+            objective = [obj - coefficient * entry
+                         for obj, entry in zip(objective, tableau[row_index])]
+    tableau.append(objective)
+    # Forbid re-entering artificial columns by pricing them at +infinity;
+    # easiest exact trick: simply never let them have a negative reduced cost.
+    for j in range(num_cols, total_cols):
+        if tableau[-1][j] < 0:
+            tableau[-1][j] = Fraction(0)
+    _run_simplex(tableau, basis, num_cols)
+
+    values = [Fraction(0)] * num_cols
+    for row_index, basic in enumerate(basis):
+        if basic < num_cols:
+            values[basic] = tableau[row_index][-1]
+    objective_value = sum(cost_row[j] * values[j] for j in range(num_cols))
+    return ExactSolution(objective=objective_value, values=values)
+
+
+def solve_min_with_inequalities(costs: Sequence[Fraction | int],
+                                le_matrix: Sequence[Sequence[Fraction | int]],
+                                le_rhs: Sequence[Fraction | int],
+                                eq_matrix: Sequence[Sequence[Fraction | int]] = (),
+                                eq_rhs: Sequence[Fraction | int] = ()) -> ExactSolution:
+    """Solve ``min c·x  s.t.  A_le x <= b_le, A_eq x = b_eq, x >= 0`` exactly.
+
+    Slack variables are appended to turn ``<=`` rows into equalities; the
+    reported solution drops them.
+    """
+    num_original = len(costs)
+    num_slacks = len(le_matrix)
+    full_costs = [Fraction(value) for value in costs] + [Fraction(0)] * num_slacks
+    matrix: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    for index, row in enumerate(le_matrix):
+        extended = [Fraction(value) for value in row] + [Fraction(0)] * num_slacks
+        extended[num_original + index] = Fraction(1)
+        matrix.append(extended)
+        rhs.append(Fraction(le_rhs[index]))
+    for index, row in enumerate(eq_matrix):
+        extended = [Fraction(value) for value in row] + [Fraction(0)] * num_slacks
+        matrix.append(extended)
+        rhs.append(Fraction(eq_rhs[index]))
+    solution = solve_standard_form(full_costs, matrix, rhs)
+    return ExactSolution(objective=solution.objective,
+                         values=solution.values[:num_original])

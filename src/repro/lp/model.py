@@ -1,0 +1,186 @@
+"""A small linear-programming front end over scipy's HiGHS solver.
+
+Every information-theoretic computation in the library — polymatroid bounds,
+fractional hypertree width, submodular width, Shannon-flow duals, fractional
+edge covers — is a linear program.  This module gives them a single, named
+interface: variables and constraints are referenced by name, and the solution
+is returned as a dictionary, which keeps the call sites close to the paper's
+notation (variables named ``h{X,Y}``, ``λ_B``, ``w_{Y|X}`` and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class InfeasibleProgramError(RuntimeError):
+    """Raised when an LP has no feasible solution."""
+
+
+class UnboundedProgramError(RuntimeError):
+    """Raised when an LP is unbounded in the optimisation direction."""
+
+
+@dataclass
+class _Constraint:
+    name: str
+    coefficients: dict[str, float]
+    rhs: float
+    kind: str  # "le" or "eq"
+
+
+@dataclass
+class LPSolution:
+    """The result of solving a :class:`LinearProgram`."""
+
+    objective: float
+    values: dict[str, float]
+    status: str = "optimal"
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def nonzero(self, tolerance: float = 1e-9) -> dict[str, float]:
+        return {name: value for name, value in self.values.items()
+                if abs(value) > tolerance}
+
+
+class LinearProgram:
+    """A named-variable linear program.
+
+    Variables default to the bounds ``[0, +inf)``; constraints are ``<=`` or
+    ``==`` rows over named variables; the objective may be minimised or
+    maximised.
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._variables: dict[str, tuple[float | None, float | None]] = {}
+        self._order: list[str] = []
+        self._constraints: list[_Constraint] = []
+        self._objective: dict[str, float] = {}
+        self._maximize = False
+
+    # -------------------------------------------------------------- building
+    def add_variable(self, name: str, lower: float | None = 0.0,
+                     upper: float | None = None) -> str:
+        """Declare a variable (idempotent; re-declaring tightens nothing)."""
+        if name not in self._variables:
+            self._variables[name] = (lower, upper)
+            self._order.append(name)
+        return name
+
+    def variable_names(self) -> list[str]:
+        return list(self._order)
+
+    def _require_variables(self, coefficients: Mapping[str, float]) -> None:
+        for name in coefficients:
+            if name not in self._variables:
+                self.add_variable(name)
+
+    def add_le(self, coefficients: Mapping[str, float], rhs: float,
+               name: str | None = None) -> None:
+        """Add ``Σ coeff·x <= rhs``."""
+        self._require_variables(coefficients)
+        self._constraints.append(_Constraint(
+            name or f"c{len(self._constraints)}", dict(coefficients), float(rhs), "le"))
+
+    def add_ge(self, coefficients: Mapping[str, float], rhs: float,
+               name: str | None = None) -> None:
+        """Add ``Σ coeff·x >= rhs`` (stored as the negated ``<=`` row)."""
+        negated = {variable: -value for variable, value in coefficients.items()}
+        self.add_le(negated, -float(rhs), name=name)
+
+    def add_eq(self, coefficients: Mapping[str, float], rhs: float,
+               name: str | None = None) -> None:
+        """Add ``Σ coeff·x == rhs``."""
+        self._require_variables(coefficients)
+        self._constraints.append(_Constraint(
+            name or f"c{len(self._constraints)}", dict(coefficients), float(rhs), "eq"))
+
+    def set_objective(self, coefficients: Mapping[str, float],
+                      maximize: bool = False) -> None:
+        self._require_variables(coefficients)
+        self._objective = dict(coefficients)
+        self._maximize = maximize
+
+    # --------------------------------------------------------------- solving
+    def solve(self) -> LPSolution:
+        """Solve with HiGHS and return an :class:`LPSolution`.
+
+        Raises :class:`InfeasibleProgramError` / :class:`UnboundedProgramError`
+        on the corresponding solver statuses.
+        """
+        if not self._order:
+            return LPSolution(objective=0.0, values={})
+        index = {name: position for position, name in enumerate(self._order)}
+        count = len(self._order)
+        cost = np.zeros(count)
+        for name, value in self._objective.items():
+            cost[index[name]] = value
+        if self._maximize:
+            cost = -cost
+
+        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
+        for constraint in self._constraints:
+            row = np.zeros(count)
+            for name, value in constraint.coefficients.items():
+                row[index[name]] += value
+            if constraint.kind == "le":
+                a_ub_rows.append(row)
+                b_ub.append(constraint.rhs)
+            else:
+                a_eq_rows.append(row)
+                b_eq.append(constraint.rhs)
+
+        bounds = [self._variables[name] for name in self._order]
+        result = linprog(
+            c=cost,
+            A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=np.array(a_eq_rows) if a_eq_rows else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleProgramError(f"{self.name}: infeasible")
+        if result.status == 3:
+            raise UnboundedProgramError(f"{self.name}: unbounded")
+        if not result.success:  # pragma: no cover - defensive
+            raise RuntimeError(f"{self.name}: solver failed with status {result.status}")
+        objective = float(result.fun)
+        if self._maximize:
+            objective = -objective
+        values = {name: float(result.x[index[name]]) for name in self._order}
+        return LPSolution(objective=objective, values=values)
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def num_variables(self) -> int:
+        return len(self._order)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def describe(self) -> str:
+        """A short human-readable summary (used by ``explain`` outputs)."""
+        sense = "max" if self._maximize else "min"
+        return (f"{self.name}: {sense} over {self.num_variables} variables, "
+                f"{self.num_constraints} constraints")
+
+
+def solve_max(objective: Mapping[str, float],
+              less_equal: Sequence[tuple[Mapping[str, float], float]],
+              name: str = "lp") -> LPSolution:
+    """One-shot helper: maximise ``objective`` subject to ``<=`` rows."""
+    program = LinearProgram(name)
+    for coefficients, rhs in less_equal:
+        program.add_le(coefficients, rhs)
+    program.set_objective(objective, maximize=True)
+    return program.solve()

@@ -1,0 +1,20 @@
+"""The information-theoretic query optimizer: cost model and planner."""
+
+from repro.optimizer.cost import CostEstimate, estimate_costs
+from repro.optimizer.planner import (
+    ExecutionResult,
+    PlanKind,
+    QueryPlan,
+    plan,
+    plan_and_execute,
+)
+
+__all__ = [
+    "CostEstimate",
+    "estimate_costs",
+    "PlanKind",
+    "QueryPlan",
+    "ExecutionResult",
+    "plan",
+    "plan_and_execute",
+]

@@ -1,0 +1,143 @@
+"""The query planner: picking and executing the best plan (Sections 1, 4–5, 8).
+
+The planner is the "meta-algorithm" of the paper's introduction: given a query
+``Q`` and statistics ``S`` it decides, *before looking at the data*, which
+evaluation strategy to use:
+
+* a free-connex acyclic query goes straight to the Yannakakis algorithm
+  (linear in input + output);
+* when the submodular width is strictly below the fractional hypertree width,
+  the query benefits from data partitioning and an adaptive (multi-TD) PANDA
+  plan is chosen;
+* otherwise the best single tree decomposition (the fhtw witness) is executed
+  as a static plan.
+
+``plan(...)`` produces a :class:`QueryPlan` that can be inspected
+(``explain()``) and executed against any database satisfying the statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.algorithms.static_plan import evaluate_static_plan
+from repro.algorithms.yannakakis import evaluate_yannakakis
+from repro.optimizer.cost import CostEstimate, estimate_costs
+from repro.panda.adaptive import evaluate_adaptive
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
+from repro.relational.relation import Relation
+from repro.stats.constraints import ConstraintSet
+
+
+class PlanKind(str, Enum):
+    """The three plan families the optimizer chooses between."""
+
+    YANNAKAKIS = "yannakakis"
+    STATIC_TD = "static-tree-decomposition"
+    ADAPTIVE_PANDA = "adaptive-panda"
+
+
+@dataclass
+class ExecutionResult:
+    """The answer relation plus the work performed to compute it."""
+
+    answer: Relation
+    counter: WorkCounter
+    details: object | None = None
+
+    @property
+    def output_size(self) -> int:
+        return len(self.answer)
+
+
+@dataclass
+class QueryPlan:
+    """A chosen plan: its kind, cost estimate and an executable closure."""
+
+    kind: PlanKind
+    query: ConjunctiveQuery
+    statistics: ConstraintSet
+    estimate: CostEstimate
+    runner: Callable[[Database], ExecutionResult]
+    reason: str
+
+    def execute(self, database: Database) -> ExecutionResult:
+        return self.runner(database)
+
+    def explain(self) -> str:
+        lines = [f"plan for {self.query}",
+                 f"  strategy: {self.kind.value}",
+                 f"  reason: {self.reason}"]
+        lines.append("  " + self.estimate.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def plan(query: ConjunctiveQuery, statistics: ConstraintSet,
+         max_variables: int = 9,
+         adaptive_threshold: float = 1e-6) -> QueryPlan:
+    """Choose a plan for ``query`` under ``statistics``."""
+    estimate = estimate_costs(query, statistics, max_variables=max_variables)
+
+    if estimate.is_acyclic and estimate.is_free_connex:
+        return QueryPlan(
+            kind=PlanKind.YANNAKAKIS,
+            query=query, statistics=statistics, estimate=estimate,
+            runner=lambda database: _run_yannakakis(query, database),
+            reason="the query is free-connex acyclic: Yannakakis runs in O(N + OUT)",
+        )
+    if estimate.adaptive_gain > adaptive_threshold:
+        return QueryPlan(
+            kind=PlanKind.ADAPTIVE_PANDA,
+            query=query, statistics=statistics, estimate=estimate,
+            runner=lambda database: _run_adaptive(query, database, statistics, max_variables),
+            reason=(f"subw = {estimate.subw_exponent:.4g} < fhtw = "
+                    f"{estimate.fhtw_exponent:.4g}: data partitioning across multiple "
+                    "tree decompositions is strictly better than any single one"),
+        )
+    best_td = estimate.fhtw.best_decomposition
+    return QueryPlan(
+        kind=PlanKind.STATIC_TD,
+        query=query, statistics=statistics, estimate=estimate,
+        runner=lambda database: _run_static(query, database, best_td),
+        reason=(f"a single tree decomposition already attains the submodular width "
+                f"({estimate.fhtw_exponent:.4g})"),
+    )
+
+
+def plan_and_execute(query: ConjunctiveQuery, database: Database,
+                     statistics: ConstraintSet,
+                     max_variables: int = 9) -> tuple[QueryPlan, ExecutionResult]:
+    """Convenience wrapper: plan, execute, and return both."""
+    chosen = plan(query, statistics, max_variables=max_variables)
+    return chosen, chosen.execute(database)
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+def _run_yannakakis(query: ConjunctiveQuery, database: Database) -> ExecutionResult:
+    counter = WorkCounter()
+    answer = evaluate_yannakakis(query, database, counter=counter)
+    return ExecutionResult(answer=answer, counter=counter)
+
+
+def _run_static(query: ConjunctiveQuery, database: Database,
+                decomposition) -> ExecutionResult:
+    counter = WorkCounter()
+    answer, report = evaluate_static_plan(query, database, decomposition, counter=counter)
+    return ExecutionResult(answer=answer, counter=counter, details=report)
+
+
+def _run_adaptive(query: ConjunctiveQuery, database: Database,
+                  statistics: ConstraintSet, max_variables: int) -> ExecutionResult:
+    answer, report = evaluate_adaptive(query, database, statistics=statistics,
+                                       max_variables=max_variables)
+    counter = WorkCounter()
+    counter.merge(report.counter)
+    counter.max_intermediate = max(counter.max_intermediate, report.max_intermediate)
+    return ExecutionResult(answer=answer, counter=counter, details=report)

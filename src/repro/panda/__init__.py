@@ -1,0 +1,16 @@
+"""The PANDA / PANDAExpress algorithm: DDR evaluation and adaptive CQ plans (Section 8)."""
+
+from repro.panda.measures import ConditionalMeasure, UnconditionalMeasure, compose
+from repro.panda.executor import PandaExecutionError, PandaReport, evaluate_ddr
+from repro.panda.adaptive import AdaptiveReport, evaluate_adaptive
+
+__all__ = [
+    "UnconditionalMeasure",
+    "ConditionalMeasure",
+    "compose",
+    "evaluate_ddr",
+    "PandaReport",
+    "PandaExecutionError",
+    "evaluate_adaptive",
+    "AdaptiveReport",
+]

@@ -1,0 +1,172 @@
+"""Sub-probability measure tables (Section 8.1).
+
+PANDA re-interprets every term of a Shannon-flow inequality as a table whose
+tuples carry *sub-probability* weights:
+
+* an unconditional term ``h(Y)`` becomes a weighted table over the variables
+  ``Y`` whose weights sum to at most 1;
+* a conditional term ``h(Y|X)`` becomes, for every value of (the relevant part
+  of) ``X``, a weighted table over ``Y`` whose weights sum to at most 1.
+
+Proof steps act on these tables: decomposition splits a joint measure into a
+marginal and a conditional, submodularity steps enlarge the nominal
+conditioning set without touching the data (the measure simply does not depend
+on the extra variables), and composition multiplies a marginal with a
+conditional — the only step that creates new tuples, and the place where
+PANDAExpress truncates at the ``1/B`` threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.relational.relation import Relation
+
+
+@dataclass
+class UnconditionalMeasure:
+    """A weighted table over ``variables``: a sub-probability measure."""
+
+    variables: tuple[str, ...]
+    weights: dict[tuple, float]
+
+    @classmethod
+    def uniform_from_relation(cls, relation: Relation, variables: Iterable[str],
+                              denominator: float) -> "UnconditionalMeasure":
+        """``p(y) = 1/denominator`` on the projection of ``relation`` onto ``variables``."""
+        columns = sorted(variables)
+        projected = relation.project(columns)
+        weight = 1.0 / max(denominator, 1.0)
+        return cls(tuple(columns), {row: weight for row in projected})
+
+    def total_mass(self) -> float:
+        return sum(self.weights.values())
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def truncate(self, threshold: float) -> "UnconditionalMeasure":
+        """Keep only tuples whose weight is at least ``threshold``."""
+        kept = {row: weight for row, weight in self.weights.items()
+                if weight >= threshold}
+        return UnconditionalMeasure(self.variables, kept)
+
+    def marginal(self, onto: Iterable[str]) -> "UnconditionalMeasure":
+        """Sum weights over the variables not in ``onto``."""
+        columns = sorted(set(onto) & set(self.variables))
+        indices = [self.variables.index(c) for c in columns]
+        weights: dict[tuple, float] = {}
+        for row, weight in self.weights.items():
+            key = tuple(row[i] for i in indices)
+            weights[key] = weights.get(key, 0.0) + weight
+        return UnconditionalMeasure(tuple(columns), weights)
+
+    def conditional_on(self, given: Iterable[str]) -> "ConditionalMeasure":
+        """The conditional measure ``p(rest | given)`` derived from this joint measure."""
+        given_columns = sorted(set(given) & set(self.variables))
+        target_columns = [c for c in self.variables if c not in set(given_columns)]
+        given_idx = [self.variables.index(c) for c in given_columns]
+        target_idx = [self.variables.index(c) for c in target_columns]
+        marginal = self.marginal(given_columns)
+        groups: dict[tuple, list[tuple[tuple, float]]] = {}
+        for row, weight in self.weights.items():
+            key = tuple(row[i] for i in given_idx)
+            value = tuple(row[i] for i in target_idx)
+            denominator = marginal.weights.get(key, 0.0)
+            if denominator <= 0:
+                continue
+            groups.setdefault(key, []).append((value, weight / denominator))
+        for key in groups:
+            groups[key].sort(key=lambda entry: -entry[1])
+        return ConditionalMeasure(tuple(target_columns), tuple(given_columns), groups)
+
+    def support_relation(self, name: str) -> Relation:
+        return Relation(name, self.variables, self.weights.keys())
+
+    def as_assignments(self) -> Iterable[tuple[dict, float]]:
+        for row, weight in self.weights.items():
+            yield dict(zip(self.variables, row)), weight
+
+
+@dataclass
+class ConditionalMeasure:
+    """A conditional sub-probability measure ``p(target | key)``.
+
+    ``key_variables`` is the set of variables the measure *actually* depends
+    on; submodularity steps may enlarge the nominal conditioning set of the
+    term this measure is attached to, but the stored data never changes
+    (``p_{Z|XY} := p_{Z|Y}`` in Table 2).
+    """
+
+    target_variables: tuple[str, ...]
+    key_variables: tuple[str, ...]
+    groups: dict[tuple, list[tuple[tuple, float]]]
+
+    @classmethod
+    def per_group_uniform(cls, relation: Relation, target: Iterable[str],
+                          given: Iterable[str]) -> "ConditionalMeasure":
+        """``p(y|x) = 1/deg(Y|X=x)`` on the projection of ``relation``.
+
+        This is the initialisation of a degree-constraint source term: the
+        measure is a genuine conditional probability per group and every
+        weight is at least ``1/deg(Y|X) >= 1/N_{Y|X}``.
+        """
+        target_columns = sorted(target)
+        given_columns = sorted(given)
+        projected = relation.project(given_columns + target_columns)
+        given_idx = [projected.column_index(c) for c in given_columns]
+        target_idx = [projected.column_index(c) for c in target_columns]
+        raw_groups: dict[tuple, set[tuple]] = {}
+        for row in projected:
+            key = tuple(row[i] for i in given_idx)
+            value = tuple(row[i] for i in target_idx)
+            raw_groups.setdefault(key, set()).add(value)
+        groups = {
+            key: sorted(((value, 1.0 / len(values)) for value in values),
+                        key=lambda entry: -entry[1])
+            for key, values in raw_groups.items()
+        }
+        return cls(tuple(target_columns), tuple(given_columns), groups)
+
+    def group_for(self, assignment: Mapping[str, object]) -> list[tuple[tuple, float]]:
+        key = tuple(assignment[c] for c in self.key_variables)
+        return self.groups.get(key, [])
+
+    def max_group_size(self) -> int:
+        return max((len(group) for group in self.groups.values()), default=0)
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self.groups.values())
+
+
+def compose(marginal: UnconditionalMeasure, conditional: ConditionalMeasure,
+            threshold: float) -> UnconditionalMeasure:
+    """``p(x)·p(y|x)``, truncated at ``threshold`` (the composition step).
+
+    The conditional's groups are sorted by decreasing weight, so the inner
+    loop stops as soon as the product drops below the threshold — the work is
+    proportional to the number of *kept* tuples plus the number of groups
+    touched, which is what gives PANDA its runtime guarantee.
+    """
+    missing = set(conditional.key_variables) - set(marginal.variables)
+    if missing:
+        raise ValueError(
+            f"composition requires the marginal to determine the key variables "
+            f"{sorted(missing)}")
+    out_columns = tuple(sorted(set(marginal.variables) | set(conditional.target_variables)))
+    weights: dict[tuple, float] = {}
+    for row, base_weight in marginal.weights.items():
+        if base_weight < threshold:
+            continue
+        assignment = dict(zip(marginal.variables, row))
+        for value, conditional_weight in conditional.group_for(assignment):
+            combined = base_weight * conditional_weight
+            if combined < threshold:
+                break
+            extended = dict(assignment)
+            extended.update(zip(conditional.target_variables, value))
+            key = tuple(extended[c] for c in out_columns)
+            if combined > weights.get(key, 0.0):
+                weights[key] = combined
+    return UnconditionalMeasure(out_columns, weights)

@@ -1,0 +1,50 @@
+"""Conjunctive queries, hypergraphs and a small query library (Section 3.1, 3.4)."""
+
+from repro.query.cq import Atom, ConjunctiveQuery, make_atom
+from repro.query.hypergraph import (
+    Hypergraph,
+    JoinTree,
+    gyo_reduction,
+    is_acyclic,
+    is_free_connex,
+    query_hypergraph,
+)
+from repro.query.parser import QueryParseError, parse_query
+from repro.query.library import (
+    bowtie_query,
+    clique_query,
+    cycle_query,
+    four_cycle_boolean,
+    four_cycle_full,
+    four_cycle_projected,
+    loomis_whitney_query,
+    path_query,
+    star_query,
+    triangle_query,
+    two_path_projected,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "make_atom",
+    "Hypergraph",
+    "JoinTree",
+    "gyo_reduction",
+    "is_acyclic",
+    "is_free_connex",
+    "query_hypergraph",
+    "parse_query",
+    "QueryParseError",
+    "cycle_query",
+    "four_cycle_full",
+    "four_cycle_projected",
+    "four_cycle_boolean",
+    "triangle_query",
+    "path_query",
+    "star_query",
+    "clique_query",
+    "loomis_whitney_query",
+    "two_path_projected",
+    "bowtie_query",
+]

@@ -1,0 +1,200 @@
+"""Query hypergraphs, acyclicity testing and join trees (Section 3.4).
+
+A conjunctive query induces a hypergraph whose vertices are the query's
+variables and whose hyperedges are the variable sets of the atoms.  The
+classical GYO (Graham / Yu–Ozsoyoglu) reduction decides *alpha-acyclicity* and,
+as a by-product, yields a join tree, which is what the Yannakakis algorithm
+and the tree-decomposition machinery consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.utils.varsets import format_varset
+
+
+class Hypergraph:
+    """A multi-hypergraph over named vertices.
+
+    Hyperedges keep their identity (an integer index) because queries may
+    contain several atoms with the same variable set (self-joins).
+    """
+
+    def __init__(self, edges: Sequence[Iterable[str]]) -> None:
+        self._edges: tuple[frozenset[str], ...] = tuple(frozenset(edge) for edge in edges)
+        vertices: set[str] = set()
+        for edge in self._edges:
+            vertices.update(edge)
+        self._vertices = frozenset(vertices)
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        return self._vertices
+
+    @property
+    def edges(self) -> tuple[frozenset[str], ...]:
+        return self._edges
+
+    def edges_containing(self, vertex: str) -> list[int]:
+        """Indices of the hyperedges that contain ``vertex``."""
+        return [index for index, edge in enumerate(self._edges) if vertex in edge]
+
+    def neighbors(self, vertex: str) -> frozenset[str]:
+        """Vertices sharing at least one hyperedge with ``vertex`` (excluding it)."""
+        seen: set[str] = set()
+        for edge in self._edges:
+            if vertex in edge:
+                seen.update(edge)
+        seen.discard(vertex)
+        return frozenset(seen)
+
+    def induced(self, vertices: Iterable[str]) -> "Hypergraph":
+        """The hypergraph induced on a subset of the vertices.
+
+        Each edge is intersected with the subset; empty intersections are
+        dropped.
+        """
+        keep = frozenset(vertices)
+        edges = [edge & keep for edge in self._edges if edge & keep]
+        return Hypergraph(edges)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(format_varset(edge) for edge in self._edges)
+        return f"Hypergraph[{rendered}]"
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A join tree over a sequence of hyperedges.
+
+    ``nodes`` lists the hyperedges (bags); ``parent`` maps a node index to its
+    parent index (the root maps to ``None``).  The running-intersection
+    property is guaranteed by construction in :func:`gyo_reduction`.
+    """
+
+    nodes: tuple[frozenset[str], ...]
+    parent: tuple[int | None, ...]
+
+    @property
+    def root(self) -> int:
+        for index, par in enumerate(self.parent):
+            if par is None:
+                return index
+        raise ValueError("join tree has no root")
+
+    def children(self, index: int) -> list[int]:
+        return [child for child, par in enumerate(self.parent) if par == index]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """(child, parent) pairs of the tree."""
+        return [(child, par) for child, par in enumerate(self.parent) if par is not None]
+
+    def bottom_up_order(self) -> list[int]:
+        """Node indices ordered so every node appears before its parent."""
+        order: list[int] = []
+        visited: set[int] = set()
+
+        def visit(index: int) -> None:
+            if index in visited:
+                return
+            visited.add(index)
+            for child in self.children(index):
+                visit(child)
+            order.append(index)
+
+        visit(self.root)
+        # Disconnected forests: visit any leftovers (treated as extra roots).
+        for index in range(len(self.nodes)):
+            visit(index)
+        return order
+
+
+def gyo_reduction(edges: Sequence[Iterable[str]]) -> JoinTree | None:
+    """Run the GYO ear-removal algorithm.
+
+    Returns a :class:`JoinTree` over the input hyperedges if the hypergraph is
+    alpha-acyclic, and ``None`` otherwise.
+
+    An *ear* is a hyperedge ``E`` such that every vertex of ``E`` is either
+    exclusive to ``E`` or contained in some other hyperedge ``W`` (the
+    *witness*); removing ears one by one empties an acyclic hypergraph.
+    """
+    edge_sets = [frozenset(edge) for edge in edges]
+    count = len(edge_sets)
+    if count == 0:
+        return JoinTree(nodes=(), parent=())
+    alive = set(range(count))
+    parent: list[int | None] = [None] * count
+
+    def vertex_occurrences() -> dict[str, set[int]]:
+        occurrences: dict[str, set[int]] = {}
+        for index in alive:
+            for vertex in edge_sets[index]:
+                occurrences.setdefault(vertex, set()).add(index)
+        return occurrences
+
+    progress = True
+    while len(alive) > 1 and progress:
+        progress = False
+        occurrences = vertex_occurrences()
+        for index in sorted(alive):
+            edge = edge_sets[index]
+            exclusive = {v for v in edge if occurrences[v] == {index}}
+            shared = edge - exclusive
+            if not shared:
+                # Isolated edge: it can be attached anywhere; pick any survivor.
+                witness = next(iter(sorted(alive - {index})))
+                parent[index] = witness
+                alive.remove(index)
+                progress = True
+                break
+            witness = _find_witness(index, shared, alive, edge_sets)
+            if witness is not None:
+                parent[index] = witness
+                alive.remove(index)
+                progress = True
+                break
+    if len(alive) > 1:
+        return None
+    return JoinTree(nodes=tuple(edge_sets), parent=tuple(parent))
+
+
+def _find_witness(index: int,
+                  shared: frozenset[str] | set[str],
+                  alive: set[int],
+                  edge_sets: Sequence[frozenset[str]]) -> int | None:
+    """Find a hyperedge (other than ``index``) containing all ``shared`` vertices."""
+    for candidate in sorted(alive):
+        if candidate == index:
+            continue
+        if shared <= edge_sets[candidate]:
+            return candidate
+    return None
+
+
+def is_acyclic(edges: Sequence[Iterable[str]]) -> bool:
+    """True when the hypergraph given by ``edges`` is alpha-acyclic."""
+    return gyo_reduction(edges) is not None
+
+
+def is_free_connex(edges: Sequence[Iterable[str]], free: Iterable[str]) -> bool:
+    """Free-connex acyclicity test.
+
+    A query with hyperedges ``edges`` and free variables ``free`` is
+    free-connex if it is acyclic *and* remains acyclic after adding an extra
+    hyperedge over the free variables (Section 3.4 of the paper).
+    """
+    free_set = frozenset(free)
+    if not is_acyclic(edges):
+        return False
+    if not free_set:
+        return True
+    extended = list(edges) + [free_set]
+    return is_acyclic(extended)
+
+
+def query_hypergraph(query) -> Hypergraph:
+    """The hypergraph of a :class:`~repro.query.cq.ConjunctiveQuery`."""
+    return Hypergraph([atom.varset for atom in query.atoms])

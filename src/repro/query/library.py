@@ -1,0 +1,131 @@
+"""A library of standard conjunctive queries used throughout the paper.
+
+These factories cover the queries that recur in the tutorial (the 4-cycle
+``Q□`` and its full / Boolean variants), as well as the classic families used
+by the surrounding literature: k-cycles, k-cliques, k-paths, stars, triangles
+and the Loomis–Whitney queries.
+"""
+
+from __future__ import annotations
+
+from repro.query.cq import Atom, ConjunctiveQuery
+
+
+def _cycle_variables(length: int) -> list[str]:
+    """Variable names for a cycle: X1..Xk, or the paper's X,Y,Z,W for k=4."""
+    if length == 4:
+        return ["X", "Y", "Z", "W"]
+    if length == 3:
+        return ["X", "Y", "Z"]
+    return [f"X{i}" for i in range(1, length + 1)]
+
+
+def _cycle_relations(length: int) -> list[str]:
+    """Relation names for a cycle: the paper's R,S,T,U for k=4."""
+    if length == 4:
+        return ["R", "S", "T", "U"]
+    if length == 3:
+        return ["R", "S", "T"]
+    return [f"R{i}" for i in range(1, length + 1)]
+
+
+def cycle_query(length: int,
+                free_variables=None,
+                name: str | None = None) -> ConjunctiveQuery:
+    """The ``k``-cycle query over ``k`` binary relations.
+
+    For ``length == 4`` this is exactly the paper's query family
+    (Eq. (1)/(2)): atoms ``R(X,Y), S(Y,Z), T(Z,W), U(W,X)``.
+    """
+    if length < 3:
+        raise ValueError("a cycle needs at least 3 edges")
+    variables = _cycle_variables(length)
+    relations = _cycle_relations(length)
+    atoms = []
+    for index in range(length):
+        pair = (variables[index], variables[(index + 1) % length])
+        atoms.append(Atom(relations[index], pair))
+    return ConjunctiveQuery(atoms, free_variables=free_variables,
+                            name=name or f"C{length}")
+
+
+def four_cycle_full() -> ConjunctiveQuery:
+    """``Q□full(X,Y,Z,W) :- R(X,Y) ∧ S(Y,Z) ∧ T(Z,W) ∧ U(W,X)`` (Eq. (1))."""
+    return cycle_query(4, free_variables=None, name="Q_full")
+
+
+def four_cycle_projected() -> ConjunctiveQuery:
+    """``Q□(X,Y) :- R(X,Y) ∧ S(Y,Z) ∧ T(Z,W) ∧ U(W,X)`` (Eq. (2))."""
+    return cycle_query(4, free_variables=("X", "Y"), name="Q_box")
+
+
+def four_cycle_boolean() -> ConjunctiveQuery:
+    """``Q□bool() :- R(X,Y) ∧ S(Y,Z) ∧ T(Z,W) ∧ U(W,X)`` (Eq. (76))."""
+    return cycle_query(4, free_variables=(), name="Q_bool")
+
+
+def triangle_query(free_variables=None) -> ConjunctiveQuery:
+    """The triangle query ``R(X,Y) ∧ S(Y,Z) ∧ T(Z,X)``."""
+    atoms = (Atom("R", ("X", "Y")), Atom("S", ("Y", "Z")), Atom("T", ("Z", "X")))
+    return ConjunctiveQuery(atoms, free_variables=free_variables, name="Triangle")
+
+
+def path_query(length: int, free_variables=None) -> ConjunctiveQuery:
+    """The ``k``-path query ``R1(X1,X2) ∧ ... ∧ Rk(Xk, Xk+1)`` (acyclic)."""
+    if length < 1:
+        raise ValueError("a path needs at least one edge")
+    atoms = []
+    for index in range(1, length + 1):
+        atoms.append(Atom(f"R{index}", (f"X{index}", f"X{index + 1}")))
+    return ConjunctiveQuery(atoms, free_variables=free_variables, name=f"P{length}")
+
+
+def star_query(arms: int, free_variables=None) -> ConjunctiveQuery:
+    """The star query with a center ``X0`` and ``arms`` binary atoms."""
+    if arms < 1:
+        raise ValueError("a star needs at least one arm")
+    atoms = [Atom(f"R{index}", ("X0", f"X{index}")) for index in range(1, arms + 1)]
+    return ConjunctiveQuery(atoms, free_variables=free_variables, name=f"Star{arms}")
+
+
+def clique_query(size: int, free_variables=None) -> ConjunctiveQuery:
+    """The ``k``-clique query with one binary atom per vertex pair."""
+    if size < 3:
+        raise ValueError("a clique query needs at least 3 vertices")
+    variables = [f"X{i}" for i in range(1, size + 1)]
+    atoms = []
+    for i in range(size):
+        for j in range(i + 1, size):
+            atoms.append(Atom(f"E{i + 1}{j + 1}", (variables[i], variables[j])))
+    return ConjunctiveQuery(atoms, free_variables=free_variables, name=f"K{size}")
+
+
+def loomis_whitney_query(dimension: int, free_variables=None) -> ConjunctiveQuery:
+    """The Loomis–Whitney query LW_n.
+
+    The query has ``n`` variables and ``n`` atoms; atom ``i`` contains every
+    variable except ``Xi``.  LW_3 is the triangle query up to renaming.
+    """
+    if dimension < 3:
+        raise ValueError("Loomis-Whitney queries need dimension >= 3")
+    variables = [f"X{i}" for i in range(1, dimension + 1)]
+    atoms = []
+    for skip in range(dimension):
+        kept = tuple(v for index, v in enumerate(variables) if index != skip)
+        atoms.append(Atom(f"R{skip + 1}", kept))
+    return ConjunctiveQuery(atoms, free_variables=free_variables,
+                            name=f"LW{dimension}")
+
+
+def two_path_projected() -> ConjunctiveQuery:
+    """``Q(X1, X3) :- R1(X1, X2) ∧ R2(X2, X3)``: the matrix-product pattern."""
+    return path_query(2, free_variables=("X1", "X3"))
+
+
+def bowtie_query(free_variables=None) -> ConjunctiveQuery:
+    """Two triangles sharing one vertex (a classic cyclic, non-acyclic query)."""
+    atoms = (
+        Atom("A", ("X", "Y")), Atom("B", ("Y", "Z")), Atom("C", ("Z", "X")),
+        Atom("D", ("X", "U")), Atom("E", ("U", "V")), Atom("F", ("V", "X")),
+    )
+    return ConjunctiveQuery(atoms, free_variables=free_variables, name="Bowtie")

@@ -1,0 +1,85 @@
+"""A small parser for datalog-style conjunctive query strings.
+
+The accepted syntax mirrors the paper's notation::
+
+    Q(X, Y) :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)
+
+* the head names the query and lists its free variables (an empty list, as in
+  ``Q() :- ...``, yields a Boolean query);
+* the body is a comma- (or ``∧``/``&``-) separated list of atoms;
+* whitespace is ignored.
+
+The parser is intentionally tiny: it exists so that examples, tests and
+benchmarks can state queries in the same form the paper does.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.cq import Atom, ConjunctiveQuery
+
+_ATOM_PATTERN = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)\s*")
+_RULE_SEPARATOR = ":-"
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+def _parse_atom(text: str) -> tuple[str, tuple[str, ...]]:
+    match = _ATOM_PATTERN.fullmatch(text)
+    if match is None:
+        raise QueryParseError(f"cannot parse atom: {text!r}")
+    name = match.group(1)
+    arguments = match.group(2).strip()
+    if not arguments:
+        return name, ()
+    variables = tuple(part.strip() for part in arguments.split(","))
+    if any(not variable for variable in variables):
+        raise QueryParseError(f"empty variable name in atom: {text!r}")
+    return name, variables
+
+
+def _split_body(body: str) -> list[str]:
+    # Split on commas that are not inside parentheses, then strip conjunction
+    # symbols that the paper uses.
+    normalized = body.replace("∧", ",").replace("&&", ",").replace("&", ",")
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in normalized:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part for part in (piece.strip() for piece in parts) if part]
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style rule into a :class:`ConjunctiveQuery`."""
+    if _RULE_SEPARATOR not in text:
+        raise QueryParseError(f"missing ':-' separator in query: {text!r}")
+    head_text, body_text = text.split(_RULE_SEPARATOR, 1)
+    head_name, head_variables = _parse_atom(head_text)
+    atom_texts = _split_body(body_text)
+    if not atom_texts:
+        raise QueryParseError("query body is empty")
+    atoms = []
+    for atom_text in atom_texts:
+        relation, variables = _parse_atom(atom_text)
+        atoms.append(Atom(relation, variables))
+    body_variables = {variable for atom in atoms for variable in atom.variables}
+    unknown = set(head_variables) - body_variables
+    if unknown:
+        raise QueryParseError(
+            f"head variables {sorted(unknown)} do not occur in the body"
+        )
+    return ConjunctiveQuery(atoms, free_variables=head_variables, name=head_name)

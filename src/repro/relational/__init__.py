@@ -1,0 +1,39 @@
+"""The in-memory relational engine substrate."""
+
+from repro.relational.relation import Relation, relation_from_pairs
+from repro.relational.database import Database, database_from_edges
+from repro.relational.operators import (
+    WorkCounter,
+    cartesian_product,
+    join_all,
+    project,
+    semijoin_reduce,
+    union_all,
+)
+from repro.relational.semiring import (
+    BOOLEAN_SEMIRING,
+    COUNTING_SEMIRING,
+    MAX_MIN_SEMIRING,
+    MIN_PLUS_SEMIRING,
+    AnnotatedRelation,
+    Semiring,
+)
+
+__all__ = [
+    "Relation",
+    "relation_from_pairs",
+    "Database",
+    "database_from_edges",
+    "WorkCounter",
+    "join_all",
+    "project",
+    "semijoin_reduce",
+    "cartesian_product",
+    "union_all",
+    "Semiring",
+    "AnnotatedRelation",
+    "BOOLEAN_SEMIRING",
+    "COUNTING_SEMIRING",
+    "MIN_PLUS_SEMIRING",
+    "MAX_MIN_SEMIRING",
+]

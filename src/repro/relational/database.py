@@ -1,0 +1,114 @@
+"""Database instances: named collections of relations bound to a query.
+
+A :class:`Database` maps relation symbols to :class:`~repro.relational.relation.Relation`
+instances.  When a query atom ``R(X, Y)`` is evaluated against relation ``R``,
+the relation's columns are positionally bound to the atom's variables, which
+is how the engine moves from "columns" to the paper's "variables".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.relational.relation import Relation
+
+
+class Database:
+    """A database instance ``D``: a mapping from relation symbols to relations."""
+
+    def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        if isinstance(relations, Mapping):
+            for name, relation in relations.items():
+                self.add(relation, name=name)
+        else:
+            for relation in relations:
+                self.add(relation)
+
+    def add(self, relation: Relation, name: str | None = None) -> None:
+        """Register a relation under ``name`` (defaults to the relation's name)."""
+        self._relations[name or relation.name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise KeyError(f"database has no relation named {name!r}") from exc
+
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def relations(self) -> list[Relation]:
+        return [self._relations[name] for name in self.relation_names()]
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples ``N = ||D||`` across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def max_relation_size(self) -> int:
+        """The size of the largest relation (often used as the parameter N)."""
+        if not self._relations:
+            return 0
+        return max(len(relation) for relation in self._relations.values())
+
+    # -------------------------------------------------------------- bindings
+    def bind_atom(self, atom: Atom) -> Relation:
+        """The relation of ``atom`` with its columns renamed to the atom's variables.
+
+        Binding is positional: the i-th column of the stored relation becomes
+        the i-th variable of the atom.  The resulting relation is then
+        projected onto the atom's variable set (duplicates collapse), which is
+        all the join algorithms need.
+        """
+        relation = self[atom.relation]
+        if len(relation.columns) != len(atom.variables):
+            raise ValueError(
+                f"atom {atom} has arity {len(atom.variables)} but relation "
+                f"{atom.relation!r} has arity {len(relation.columns)}"
+            )
+        mapping = dict(zip(relation.columns, atom.variables))
+        return relation.rename(mapping, name=str(atom))
+
+    def bind_query(self, query: ConjunctiveQuery) -> list[Relation]:
+        """Bind every atom of ``query``, in atom order."""
+        return [self.bind_atom(atom) for atom in query.atoms]
+
+    def restrict_to_query(self, query: ConjunctiveQuery) -> "Database":
+        """A database containing only the relations mentioned by ``query``."""
+        names = set(query.relation_names)
+        return Database({name: self._relations[name] for name in names})
+
+    def copy(self) -> "Database":
+        return Database({name: rel.copy() for name, rel in self._relations.items()})
+
+    def summary(self) -> dict[str, int]:
+        """Relation sizes, for display and logging."""
+        return {name: len(self._relations[name]) for name in self.relation_names()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in sorted(self._relations.items()))
+        return f"Database({parts})"
+
+
+def database_from_edges(edge_lists: Mapping[str, Iterable[tuple]],
+                        columns: Mapping[str, tuple[str, ...]] | None = None) -> Database:
+    """Build a database of (mostly binary) relations from raw tuple lists.
+
+    ``columns`` optionally overrides the column names per relation; by default
+    a relation with arity k gets columns ``("c1", ..., "ck")``.
+    """
+    database = Database()
+    for name, rows in edge_lists.items():
+        rows = [tuple(row) for row in rows]
+        if columns and name in columns:
+            cols = columns[name]
+        else:
+            arity = len(rows[0]) if rows else 2
+            cols = tuple(f"c{i + 1}" for i in range(arity))
+        database.add(Relation(name, cols, rows))
+    return database

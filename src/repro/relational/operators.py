@@ -1,0 +1,129 @@
+"""Free-standing relational operators used by the evaluation algorithms.
+
+These functions complement the methods on :class:`~repro.relational.relation.Relation`
+with multi-way variants (joining a list of relations, semijoin-reducing a set
+of relations to global consistency) and with an instrumented join that counts
+intermediate tuples — the quantity the paper's cost model bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.relational.relation import Relation
+
+
+@dataclass
+class WorkCounter:
+    """Counts the work performed by an evaluation algorithm.
+
+    ``intermediate_tuples`` accumulates the sizes of every materialised
+    intermediate relation; ``max_intermediate`` tracks the largest one, which
+    is exactly the cost measure of Section 4.1 of the paper.
+    """
+
+    intermediate_tuples: int = 0
+    max_intermediate: int = 0
+    materializations: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def record(self, relation: Relation, note: str | None = None) -> Relation:
+        size = len(relation)
+        self.intermediate_tuples += size
+        self.max_intermediate = max(self.max_intermediate, size)
+        self.materializations += 1
+        if note:
+            self.notes.append(f"{note}: {size} tuples")
+        return relation
+
+    def merge(self, other: "WorkCounter") -> None:
+        self.intermediate_tuples += other.intermediate_tuples
+        self.max_intermediate = max(self.max_intermediate, other.max_intermediate)
+        self.materializations += other.materializations
+        self.notes.extend(other.notes)
+
+
+def join_all(relations: Sequence[Relation],
+             counter: WorkCounter | None = None,
+             name: str = "⋈") -> Relation:
+    """Natural join of a list of relations, left to right.
+
+    The result of an empty list is the nullary relation with a single empty
+    tuple (the unit of natural join).
+    """
+    if not relations:
+        return Relation(name, (), [()])
+    result = relations[0]
+    for relation in relations[1:]:
+        result = result.hash_join(relation)
+        if counter is not None:
+            counter.record(result, note=f"join step -> {result.columns}")
+    return result.copy(name)
+
+
+def project(relation: Relation, columns: Iterable[str], name: str | None = None) -> Relation:
+    """Projection preserving the requested column order when possible."""
+    columns = list(columns)
+    ordered = [c for c in relation.columns if c in set(columns)]
+    # Add any requested columns missing from the relation's order (error later).
+    for column in columns:
+        if column not in ordered:
+            ordered.append(column)
+    return relation.project(ordered, name=name)
+
+
+def semijoin_reduce(relations: Sequence[Relation],
+                    counter: WorkCounter | None = None) -> list[Relation]:
+    """Full semijoin reduction to (pairwise) consistency.
+
+    Repeatedly semijoins every relation with every other relation until no
+    relation shrinks.  For acyclic joins arranged along a join tree the
+    classical Yannakakis algorithm needs only two passes; this generic version
+    is used when no join tree is available (e.g. to clean up PANDA's bag
+    relations) and always terminates because sizes only decrease.
+    """
+    current = [relation.copy() for relation in relations]
+    changed = True
+    while changed:
+        changed = False
+        for i, left in enumerate(current):
+            for j, right in enumerate(current):
+                if i == j:
+                    continue
+                if not (left.column_set & right.column_set):
+                    continue
+                reduced = left.semijoin(right)
+                if len(reduced) < len(left):
+                    current[i] = reduced
+                    left = reduced
+                    changed = True
+                    if counter is not None:
+                        counter.record(reduced, note=f"semijoin {reduced.name}")
+    return current
+
+
+def cartesian_product(left: Relation, right: Relation,
+                      name: str | None = None) -> Relation:
+    """Cartesian product of two relations over disjoint schemas."""
+    if left.column_set & right.column_set:
+        raise ValueError("cartesian_product requires disjoint schemas")
+    rows = [l + r for l in left for r in right]
+    return Relation(name or f"({left.name} × {right.name})",
+                    left.columns + right.columns, rows)
+
+
+def empty_like(relation: Relation, name: str | None = None) -> Relation:
+    """An empty relation with the same schema."""
+    return Relation(name or relation.name, relation.columns, [])
+
+
+def union_all(relations: Sequence[Relation], columns: Sequence[str],
+              name: str = "∪") -> Relation:
+    """Union of relations projected onto a common column list."""
+    result = Relation(name, tuple(columns), [])
+    for relation in relations:
+        projected = relation.project(columns)
+        for row in projected:
+            result.add(row)
+    return result

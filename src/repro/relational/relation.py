@@ -1,0 +1,246 @@
+"""In-memory relations: the storage substrate for query evaluation.
+
+A :class:`Relation` is a named, set-semantics table: a schema (ordered column
+names, which play the role of the paper's variables once an atom binds them)
+and a set of tuples.  Relations support the handful of operations the
+algorithms in this library need — projection, selection, semijoin, hash join,
+degree computation and degree-based partitioning — and nothing more.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+
+class Relation:
+    """A finite relation with set semantics.
+
+    Parameters
+    ----------
+    name:
+        The relation's name (used for error messages and display).
+    columns:
+        Ordered column names.
+    rows:
+        An iterable of tuples; each tuple must have ``len(columns)`` entries.
+        Duplicates are removed (set semantics).
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[tuple] = ()) -> None:
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"relation {name!r} has duplicate column names: {columns}")
+        self.name = name
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._rows: set[tuple] = set()
+        arity = len(self.columns)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise ValueError(
+                    f"row {row!r} has {len(row)} values but relation {name!r} "
+                    f"has {arity} columns"
+                )
+            self._rows.add(row)
+
+    # ---------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable-ish
+        raise TypeError("Relation objects are not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, {self.columns}, {len(self)} rows)"
+
+    @property
+    def rows(self) -> frozenset[tuple]:
+        """An immutable view of the rows."""
+        return frozenset(self._rows)
+
+    @property
+    def column_set(self) -> frozenset[str]:
+        return frozenset(self.columns)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError as exc:
+            raise KeyError(f"relation {self.name!r} has no column {column!r}") from exc
+
+    def add(self, row: tuple) -> None:
+        """Insert one row (idempotent under set semantics)."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row {row!r} does not match the arity of relation {self.name!r}"
+            )
+        self._rows.add(row)
+
+    def copy(self, name: str | None = None) -> "Relation":
+        return Relation(name or self.name, self.columns, self._rows)
+
+    # --------------------------------------------------------------- algebra
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        """Rename columns according to ``mapping`` (missing columns unchanged)."""
+        new_columns = tuple(mapping.get(column, column) for column in self.columns)
+        return Relation(name or self.name, new_columns, self._rows)
+
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Relation":
+        """Project (with duplicate elimination) onto ``columns``."""
+        indices = [self.column_index(column) for column in columns]
+        rows = {tuple(row[i] for i in indices) for row in self._rows}
+        return Relation(name or f"π({self.name})", tuple(columns), rows)
+
+    def select(self, predicate: Callable[[dict], bool],
+               name: str | None = None) -> "Relation":
+        """Keep the rows for which ``predicate(row_as_dict)`` is true."""
+        rows = [row for row in self._rows
+                if predicate(dict(zip(self.columns, row)))]
+        return Relation(name or f"σ({self.name})", self.columns, rows)
+
+    def select_equal(self, column: str, value, name: str | None = None) -> "Relation":
+        """Equality selection ``σ_{column = value}``."""
+        index = self.column_index(column)
+        rows = [row for row in self._rows if row[index] == value]
+        return Relation(name or f"σ({self.name})", self.columns, rows)
+
+    # --------------------------------------------------------------- degrees
+    def degree(self, target: Iterable[str], given: Iterable[str]) -> int:
+        """``deg_R(target | given)``: the maximum, over assignments to
+        ``given``, of the number of distinct ``target`` values co-occurring
+        with it (Section 3.2).  ``given`` may be empty, in which case the
+        degree is simply ``|π_target(R)|``.
+        """
+        target_cols = [c for c in self.columns if c in set(target)]
+        given_cols = [c for c in self.columns if c in set(given)]
+        missing = (set(target) | set(given)) - self.column_set
+        if missing:
+            raise KeyError(
+                f"columns {sorted(missing)} are not part of relation {self.name!r}"
+            )
+        target_idx = [self.column_index(c) for c in target_cols]
+        given_idx = [self.column_index(c) for c in given_cols]
+        groups: dict[tuple, set[tuple]] = defaultdict(set)
+        for row in self._rows:
+            key = tuple(row[i] for i in given_idx)
+            value = tuple(row[i] for i in target_idx)
+            groups[key].add(value)
+        if not groups:
+            return 0
+        return max(len(values) for values in groups.values())
+
+    def degree_vector(self, target: Iterable[str],
+                      given: Iterable[str]) -> dict[tuple, int]:
+        """The full degree vector ``x -> deg_R(target | given = x)``."""
+        target_idx = [self.column_index(c) for c in self.columns if c in set(target)]
+        given_idx = [self.column_index(c) for c in self.columns if c in set(given)]
+        groups: dict[tuple, set[tuple]] = defaultdict(set)
+        for row in self._rows:
+            key = tuple(row[i] for i in given_idx)
+            value = tuple(row[i] for i in target_idx)
+            groups[key].add(value)
+        return {key: len(values) for key, values in groups.items()}
+
+    def lp_norm_of_degrees(self, target: Iterable[str], given: Iterable[str],
+                           order: float) -> float:
+        """The ℓ_order norm of the degree vector (Section 9.2).
+
+        ``order = float('inf')`` returns the maximum degree.
+        """
+        vector = list(self.degree_vector(target, given).values())
+        if not vector:
+            return 0.0
+        if order == float("inf"):
+            return float(max(vector))
+        return float(sum(d ** order for d in vector) ** (1.0 / order))
+
+    def partition_by_degree(self, given: Sequence[str], target: Sequence[str],
+                            threshold: float) -> tuple["Relation", "Relation"]:
+        """Split into (light, heavy) parts by the degree of ``given`` values.
+
+        A row goes to the *light* part when the number of distinct ``target``
+        values for its ``given`` value is at most ``threshold``, and to the
+        *heavy* part otherwise.  This is the partitioning primitive used by
+        adaptive (PANDA-style) plans, cf. Section 8.2.
+        """
+        degrees = self.degree_vector(target, given)
+        given_idx = [self.column_index(c) for c in self.columns if c in set(given)]
+        light_rows, heavy_rows = [], []
+        for row in self._rows:
+            key = tuple(row[i] for i in given_idx)
+            if degrees.get(key, 0) <= threshold:
+                light_rows.append(row)
+            else:
+                heavy_rows.append(row)
+        light = Relation(f"{self.name}_light", self.columns, light_rows)
+        heavy = Relation(f"{self.name}_heavy", self.columns, heavy_rows)
+        return light, heavy
+
+    # ------------------------------------------------------------------ joins
+    def hash_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join on the shared columns, via hashing the smaller input."""
+        shared = [c for c in self.columns if c in other.column_set]
+        left, right = self, other
+        if len(left) > len(right):
+            left, right = right, left
+        left_idx = [left.column_index(c) for c in shared]
+        right_idx = [right.column_index(c) for c in shared]
+        right_extra = [c for c in right.columns if c not in left.column_set]
+        right_extra_idx = [right.column_index(c) for c in right_extra]
+        index: dict[tuple, list[tuple]] = defaultdict(list)
+        for row in left:
+            index[tuple(row[i] for i in left_idx)].append(row)
+        out_columns = left.columns + tuple(right_extra)
+        out_rows = []
+        for row in right:
+            key = tuple(row[i] for i in right_idx)
+            for match in index.get(key, ()):
+                out_rows.append(match + tuple(row[i] for i in right_extra_idx))
+        return Relation(name or f"({left.name} ⋈ {right.name})", out_columns, out_rows)
+
+    def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """``self ⋉ other``: keep rows of ``self`` that join with ``other``."""
+        shared = [c for c in self.columns if c in other.column_set]
+        if not shared:
+            if len(other) == 0:
+                return Relation(name or self.name, self.columns, [])
+            return self.copy(name)
+        other_keys = {tuple(row[other.column_index(c)] for c in shared)
+                      for row in other}
+        self_idx = [self.column_index(c) for c in shared]
+        rows = [row for row in self._rows
+                if tuple(row[i] for i in self_idx) in other_keys]
+        return Relation(name or self.name, self.columns, rows)
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set union (schemas must agree up to column order)."""
+        if set(self.columns) != set(other.columns):
+            raise ValueError(
+                f"cannot union {self.name!r} and {other.name!r}: different schemas"
+            )
+        reordered = other.project(self.columns)
+        return Relation(name or f"({self.name} ∪ {other.name})", self.columns,
+                        set(self._rows) | set(reordered.rows))
+
+    def to_dicts(self) -> list[dict]:
+        """The rows as dictionaries, sorted for deterministic display."""
+        return [dict(zip(self.columns, row)) for row in sorted(self._rows, key=repr)]
+
+
+def relation_from_pairs(name: str, columns: Sequence[str],
+                        pairs: Iterable[tuple]) -> Relation:
+    """Convenience constructor used heavily by tests and data generators."""
+    return Relation(name, columns, pairs)

@@ -1,0 +1,185 @@
+"""Semirings and annotated relations (Section 9.1 of the paper).
+
+Functional aggregate queries (FAQ) compute a sum-of-products of relation
+annotations over a commutative semiring ``(K, ⊕, ⊗)``.  Depending on the
+semiring the same syntactic query counts solutions, finds the minimum weight
+solution, or reduces back to Boolean CQ evaluation.  The paper distinguishes
+*idempotent* semirings (where PANDA's partitioning remains sound) from
+non-idempotent ones such as the counting semiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Mapping, Sequence, TypeVar
+
+from repro.relational.relation import Relation
+
+K = TypeVar("K")
+
+
+@dataclass(frozen=True)
+class Semiring(Generic[K]):
+    """A commutative semiring ``(K, ⊕, ⊗, 0, 1)``.
+
+    ``idempotent_add`` records whether ``a ⊕ a == a`` for all ``a``; this is
+    the property PANDA's data partitioning needs (Section 9.1).
+    """
+
+    name: str
+    add: Callable[[K, K], K]
+    multiply: Callable[[K, K], K]
+    zero: K
+    one: K
+    idempotent_add: bool
+
+    def sum(self, values: Iterable[K]) -> K:
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def product(self, values: Iterable[K]) -> K:
+        total = self.one
+        for value in values:
+            total = self.multiply(total, value)
+        return total
+
+
+BOOLEAN_SEMIRING: Semiring[bool] = Semiring(
+    name="boolean",
+    add=lambda a, b: a or b,
+    multiply=lambda a, b: a and b,
+    zero=False,
+    one=True,
+    idempotent_add=True,
+)
+
+COUNTING_SEMIRING: Semiring[int] = Semiring(
+    name="counting",
+    add=lambda a, b: a + b,
+    multiply=lambda a, b: a * b,
+    zero=0,
+    one=1,
+    idempotent_add=False,
+)
+
+MIN_PLUS_SEMIRING: Semiring[float] = Semiring(
+    name="min-plus",
+    add=min,
+    multiply=lambda a, b: a + b,
+    zero=float("inf"),
+    one=0.0,
+    idempotent_add=True,
+)
+
+MAX_MIN_SEMIRING: Semiring[float] = Semiring(
+    name="max-min",
+    add=max,
+    multiply=min,
+    zero=float("-inf"),
+    one=float("inf"),
+    idempotent_add=True,
+)
+
+
+class AnnotatedRelation(Generic[K]):
+    """A relation whose tuples carry annotations from a semiring.
+
+    Internally this is a mapping from tuples (over ``columns``) to annotation
+    values; tuples annotated with the semiring zero are treated as absent.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 annotations: Mapping[tuple, K],
+                 semiring: Semiring[K]) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        self.semiring = semiring
+        self._annotations: dict[tuple, K] = {
+            tuple(row): value for row, value in annotations.items()
+            if value != semiring.zero
+        }
+
+    @classmethod
+    def from_relation(cls, relation: Relation, semiring: Semiring[K],
+                      weight: Callable[[dict], K] | None = None) -> "AnnotatedRelation[K]":
+        """Annotate every tuple of a plain relation.
+
+        By default each tuple is annotated with the semiring's ``one`` (so the
+        Boolean semiring recovers set semantics and the counting semiring
+        counts tuples); ``weight`` can compute per-tuple annotations, e.g. edge
+        weights for min-plus queries.
+        """
+        annotations: dict[tuple, K] = {}
+        for row in relation:
+            if weight is None:
+                annotations[row] = semiring.one
+            else:
+                annotations[row] = weight(dict(zip(relation.columns, row)))
+        return cls(relation.name, relation.columns, annotations, semiring)
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def items(self) -> Iterable[tuple[tuple, K]]:
+        return self._annotations.items()
+
+    def annotation(self, row: tuple) -> K:
+        return self._annotations.get(tuple(row), self.semiring.zero)
+
+    @property
+    def column_set(self) -> frozenset[str]:
+        return frozenset(self.columns)
+
+    def support(self) -> Relation:
+        """The underlying plain relation (tuples with non-zero annotation)."""
+        return Relation(self.name, self.columns, self._annotations.keys())
+
+    # --------------------------------------------------------------- algebra
+    def join(self, other: "AnnotatedRelation[K]") -> "AnnotatedRelation[K]":
+        """Natural join with annotations multiplied (⊗)."""
+        if self.semiring is not other.semiring and self.semiring != other.semiring:
+            raise ValueError("cannot join annotated relations over different semirings")
+        shared = [c for c in self.columns if c in other.column_set]
+        other_extra = [c for c in other.columns if c not in self.column_set]
+        out_columns = self.columns + tuple(other_extra)
+        index: dict[tuple, list[tuple[tuple, K]]] = {}
+        shared_idx_other = [other.columns.index(c) for c in shared]
+        for row, value in other.items():
+            key = tuple(row[i] for i in shared_idx_other)
+            index.setdefault(key, []).append((row, value))
+        shared_idx_self = [self.columns.index(c) for c in shared]
+        extra_idx_other = [other.columns.index(c) for c in other_extra]
+        annotations: dict[tuple, K] = {}
+        semiring = self.semiring
+        for row, value in self.items():
+            key = tuple(row[i] for i in shared_idx_self)
+            for other_row, other_value in index.get(key, ()):
+                combined_row = row + tuple(other_row[i] for i in extra_idx_other)
+                combined_value = semiring.multiply(value, other_value)
+                if combined_row in annotations:
+                    annotations[combined_row] = semiring.add(
+                        annotations[combined_row], combined_value)
+                else:
+                    annotations[combined_row] = combined_value
+        return AnnotatedRelation(f"({self.name} ⋈ {other.name})", out_columns,
+                                 annotations, semiring)
+
+    def marginalize(self, keep: Sequence[str]) -> "AnnotatedRelation[K]":
+        """Eliminate the columns not in ``keep`` by ⊕-aggregating annotations."""
+        keep = [c for c in self.columns if c in set(keep)]
+        keep_idx = [self.columns.index(c) for c in keep]
+        semiring = self.semiring
+        annotations: dict[tuple, K] = {}
+        for row, value in self.items():
+            key = tuple(row[i] for i in keep_idx)
+            if key in annotations:
+                annotations[key] = semiring.add(annotations[key], value)
+            else:
+                annotations[key] = value
+        return AnnotatedRelation(f"Σ({self.name})", tuple(keep), annotations, semiring)
+
+    def total(self) -> K:
+        """⊕ of every annotation (the value of a Boolean/aggregate query)."""
+        return self.semiring.sum(value for _, value in self.items())

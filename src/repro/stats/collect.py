@@ -1,0 +1,105 @@
+"""Collecting statistics from a concrete database and validating ``D |= S``.
+
+The paper treats statistics as *given*; a real optimizer has to measure them.
+:func:`collect_statistics` computes, for every atom of a query, the
+cardinality of the bound relation and the maximum degrees (and optionally the
+ℓ2 norms) for every split of the atom's variables into a "given" and a
+"target" part.  :func:`validate` checks that a database satisfies a constraint
+set, which the tests use to confirm that worst-case bounds really are upper
+bounds on real instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.stats.constraints import ConstraintSet, DegreeConstraint, LpNormConstraint
+
+
+def collect_statistics(database: Database, query: ConjunctiveQuery,
+                       include_degrees: bool = True,
+                       include_l2_norms: bool = False,
+                       base: float | None = None) -> ConstraintSet:
+    """Measure statistics of ``database`` relevant to ``query``.
+
+    Parameters
+    ----------
+    include_degrees:
+        When true (the default), add a max-degree constraint for every
+        non-trivial split of each atom's variables.
+    include_l2_norms:
+        When true, also add ℓ2-norm constraints for single-variable splits of
+        binary atoms (the case worked out in Section 9.2).
+    base:
+        The reference size ``N``; defaults to the largest relation size (at
+        least 2 so the log scale is well defined).
+    """
+    if base is None:
+        base = max(2.0, float(database.max_relation_size()))
+    statistics = ConstraintSet(base=base)
+    for atom in query.atoms:
+        bound_relation = database.bind_atom(atom)
+        variables = sorted(atom.varset)
+        statistics.add_cardinality(atom.varset, max(1, len(bound_relation)),
+                                   guard=atom.relation)
+        if not include_degrees or len(variables) < 2:
+            continue
+        for given_size in range(1, len(variables)):
+            for given in combinations(variables, given_size):
+                given_set = frozenset(given)
+                target_set = atom.varset - given_set
+                degree = bound_relation.degree(target_set, given_set)
+                statistics.add_degree(target_set, given_set, max(1, degree),
+                                      guard=atom.relation)
+                if include_l2_norms and len(given_set) == 1:
+                    norm = bound_relation.lp_norm_of_degrees(target_set, given_set, 2.0)
+                    statistics.add_lp_norm(target_set, given_set, 2.0,
+                                           max(1.0, norm), guard=atom.relation)
+    return statistics
+
+
+def validate(database: Database, query: ConjunctiveQuery,
+             statistics: ConstraintSet) -> list[str]:
+    """Return a list of violated constraints (empty when ``D |= S``).
+
+    A constraint with a guard is checked against that relation; a guard-less
+    constraint is checked against every atom whose variables contain the
+    constraint's variables (it must hold on all of them).
+    """
+    violations: list[str] = []
+    for constraint in statistics:
+        for atom in _guarding_atoms(query, constraint):
+            relation = database.bind_atom(atom)
+            if isinstance(constraint, DegreeConstraint):
+                actual = relation.degree(constraint.target, constraint.given)
+                if actual > constraint.bound + 1e-9:
+                    violations.append(
+                        f"{constraint} violated on {atom}: actual degree {actual}")
+            elif isinstance(constraint, LpNormConstraint):
+                actual = relation.lp_norm_of_degrees(constraint.target,
+                                                     constraint.given,
+                                                     constraint.order)
+                if actual > constraint.bound + 1e-6:
+                    violations.append(
+                        f"{constraint} violated on {atom}: actual norm {actual:.4f}")
+    return violations
+
+
+def satisfies(database: Database, query: ConjunctiveQuery,
+              statistics: ConstraintSet) -> bool:
+    """``True`` when the database satisfies every constraint (``D |= S``)."""
+    return not validate(database, query, statistics)
+
+
+def _guarding_atoms(query: ConjunctiveQuery, constraint) -> Iterable:
+    """The atoms a constraint should be checked against."""
+    if constraint.guard is not None:
+        atoms = [atom for atom in query.atoms if atom.relation == constraint.guard
+                 and constraint.variables <= atom.varset]
+        if atoms:
+            return atoms
+        return []
+    return [atom for atom in query.atoms if constraint.variables <= atom.varset]

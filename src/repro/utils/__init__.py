@@ -1,0 +1,27 @@
+"""Small shared utilities: variable sets and rational-arithmetic helpers."""
+
+from repro.utils.varsets import (
+    VarSet,
+    format_varset,
+    powerset,
+    proper_nonempty_subsets,
+    varset,
+)
+from repro.utils.rationals import (
+    as_fraction,
+    common_denominator,
+    rationalize,
+    scale_to_integers,
+)
+
+__all__ = [
+    "VarSet",
+    "varset",
+    "format_varset",
+    "powerset",
+    "proper_nonempty_subsets",
+    "as_fraction",
+    "rationalize",
+    "common_denominator",
+    "scale_to_integers",
+]

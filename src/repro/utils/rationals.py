@@ -1,0 +1,80 @@
+"""Helpers for turning floating-point LP solutions into exact rationals.
+
+The Shannon-flow machinery (Section 7 of the paper) needs *integral*
+inequalities: the dual LP is solved numerically with HiGHS and the resulting
+coefficients are reconstructed as small-denominator :class:`fractions.Fraction`
+values, after which the identity form is verified exactly.  The helpers in this
+module implement that reconstruction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Mapping, Sequence, TypeVar
+
+K = TypeVar("K")
+
+#: Default cap on reconstructed denominators.  Optimal dual solutions of the
+#: LPs that arise from small queries have tiny denominators (2, 3, 4, 6, ...);
+#: anything larger almost certainly indicates numerical noise.
+DEFAULT_MAX_DENOMINATOR = 48
+
+
+def as_fraction(value: float | int | Fraction,
+                max_denominator: int = DEFAULT_MAX_DENOMINATOR) -> Fraction:
+    """Convert ``value`` to a :class:`Fraction` with a bounded denominator.
+
+    Values that are already exact (``int`` or ``Fraction``) pass through
+    unchanged.  Tiny floating point noise (|value| < 1e-9) is snapped to zero.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if abs(value) < 1e-9:
+        return Fraction(0)
+    return Fraction(value).limit_denominator(max_denominator)
+
+
+def rationalize(values: Mapping[K, float],
+                max_denominator: int = DEFAULT_MAX_DENOMINATOR) -> dict[K, Fraction]:
+    """Rationalize every value of a mapping, dropping exact zeros."""
+    result: dict[K, Fraction] = {}
+    for key, value in values.items():
+        frac = as_fraction(value, max_denominator=max_denominator)
+        if frac != 0:
+            result[key] = frac
+    return result
+
+
+def common_denominator(values: Iterable[Fraction]) -> int:
+    """Least common multiple of the denominators of ``values`` (at least 1)."""
+    lcm = 1
+    for value in values:
+        denominator = Fraction(value).denominator
+        lcm = lcm * denominator // gcd(lcm, denominator)
+    return lcm
+
+
+def scale_to_integers(values: Mapping[K, Fraction]) -> tuple[dict[K, int], int]:
+    """Scale a rational mapping to integers.
+
+    Returns the integer mapping together with the scaling factor ``d`` (the
+    least common denominator), so that ``result[k] == values[k] * d`` for all
+    keys.
+    """
+    lcm = common_denominator(values.values())
+    scaled = {key: int(value * lcm) for key, value in values.items()}
+    return scaled, lcm
+
+
+def is_close_to_fraction(value: float, frac: Fraction, tol: float = 1e-6) -> bool:
+    """Check that a floating point value is within ``tol`` of a fraction."""
+    return abs(value - float(frac)) <= tol
+
+
+def sequence_as_fractions(values: Sequence[float],
+                          max_denominator: int = DEFAULT_MAX_DENOMINATOR) -> list[Fraction]:
+    """Rationalize a sequence of values, keeping zeros in place."""
+    return [as_fraction(value, max_denominator=max_denominator) for value in values]

@@ -1,0 +1,74 @@
+"""Canonical handling of sets of query variables.
+
+Throughout the library, a *variable* is a string (``"X"``, ``"Y"``, ...) and a
+*variable set* is a ``frozenset`` of strings.  Entropy vectors, degree
+constraints, tree-decomposition bags and bound LPs are all keyed by such
+frozensets, so this module centralises construction, formatting and subset
+enumeration for them.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, Iterator
+
+#: Type alias used across the code base for readability.
+VarSet = frozenset
+
+
+def varset(variables: Iterable[str] | str) -> frozenset[str]:
+    """Build a canonical variable set.
+
+    Accepts any iterable of variable names.  As a convenience a single string
+    is interpreted as an iterable of single-character variable names only when
+    every character is an uppercase letter (the convention used by the paper's
+    examples, e.g. ``varset("XYZ") == {"X", "Y", "Z"}``); otherwise the string
+    is treated as one variable name.
+    """
+    if isinstance(variables, str):
+        if variables and all(ch.isalpha() and ch.isupper() for ch in variables):
+            return frozenset(variables)
+        return frozenset([variables]) if variables else frozenset()
+    return frozenset(variables)
+
+
+def format_varset(variables: frozenset[str]) -> str:
+    """Human-readable rendering of a variable set, e.g. ``{X,Y,Z}``.
+
+    Variables are sorted so that output is deterministic; the empty set is
+    rendered as the conventional ``{}``.
+    """
+    if not variables:
+        return "{}"
+    return "{" + ",".join(sorted(variables)) + "}"
+
+
+def powerset(variables: Iterable[str]) -> Iterator[frozenset[str]]:
+    """Iterate over every subset of ``variables`` (including the empty set).
+
+    Subsets are produced in order of increasing size, and within a size in the
+    lexicographic order of the sorted variable names, so iteration order is
+    deterministic.
+    """
+    items = sorted(set(variables))
+    subsets = chain.from_iterable(
+        combinations(items, size) for size in range(len(items) + 1)
+    )
+    for subset in subsets:
+        yield frozenset(subset)
+
+
+def proper_nonempty_subsets(variables: Iterable[str]) -> Iterator[frozenset[str]]:
+    """Iterate over the non-empty proper subsets of ``variables``."""
+    full = frozenset(variables)
+    for subset in powerset(full):
+        if subset and subset != full:
+            yield subset
+
+
+def union_all(sets: Iterable[Iterable[str]]) -> frozenset[str]:
+    """Union of an iterable of variable sets."""
+    result: set[str] = set()
+    for entry in sets:
+        result.update(entry)
+    return frozenset(result)

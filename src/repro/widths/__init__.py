@@ -1,0 +1,38 @@
+"""Width measures: fractional hypertree width, submodular width, ω-submodular width."""
+
+from repro.widths.fhtw import (
+    DecompositionCost,
+    FhtwResult,
+    decomposition_cost,
+    fractional_hypertree_width,
+)
+from repro.widths.subw import SelectorBound, SubwResult, submodular_width, width_gap
+from repro.widths.omega import (
+    OmegaWidthReport,
+    crossover_omega,
+    fmm_beats_combinatorial_four_cycle,
+    four_cycle_width_report,
+    gamma,
+    mm_exponent,
+    mm_exponent_from_dimensions,
+    omega_submodular_width_four_cycle,
+)
+
+__all__ = [
+    "fractional_hypertree_width",
+    "decomposition_cost",
+    "FhtwResult",
+    "DecompositionCost",
+    "submodular_width",
+    "width_gap",
+    "SubwResult",
+    "SelectorBound",
+    "mm_exponent",
+    "mm_exponent_from_dimensions",
+    "gamma",
+    "omega_submodular_width_four_cycle",
+    "fmm_beats_combinatorial_four_cycle",
+    "four_cycle_width_report",
+    "crossover_omega",
+    "OmegaWidthReport",
+]

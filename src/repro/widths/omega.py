@@ -1,0 +1,103 @@
+"""The ω-submodular width and fast-matrix-multiplication costs (Section 9.3).
+
+The paper quotes, from [44], two facts that this module reproduces:
+
+* the information-theoretic cost of a single (square-blocked) fast matrix
+  multiplication, Eq. (78):
+  ``MM(X;Y;Z) = max(h(X)+h(Y)+γ·h(Z), h(X)+γ·h(Y)+h(Z), γ·h(X)+h(Y)+h(Z))``
+  with ``γ = ω − 2``;
+* the ω-submodular width of the Boolean 4-cycle under identical cardinality
+  constraints, ``ω-subw(Q□bool, S□) = (4ω−1)/(2ω+1)``, which beats the
+  (combinatorial) submodular width 3/2 exactly when ``ω < 5/2``.
+
+The fully general ω-submodular width of [44] requires that paper's extended
+variable-elimination plan space and is outside the scope of this tutorial
+reproduction; the closed form for the 4-cycle, its crossover behaviour, and an
+actual matrix-multiplication evaluation algorithm
+(:mod:`repro.algorithms.matmul`) are what the tutorial itself presents and what
+experiment E8 checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algorithms.matmul import OMEGA
+from repro.entropy.setfunc import SetFunction
+
+
+def gamma(omega: float = OMEGA) -> float:
+    """``γ = ω − 2``, the exponent appearing in the blocked-FMM cost."""
+    return omega - 2.0
+
+
+def mm_exponent(h: SetFunction, x: Iterable[str] | str, y: Iterable[str] | str,
+                z: Iterable[str] | str, omega: float = OMEGA) -> float:
+    """``MM(X;Y;Z)`` from Eq. (78), evaluated on a set function ``h``.
+
+    ``h(X), h(Y), h(Z)`` act as proxies for ``log m, log n, log p``: the log
+    dimensions of the two matrices being multiplied.
+    """
+    g = gamma(omega)
+    hx, hy, hz = h[x], h[y], h[z]
+    return max(hx + hy + g * hz, hx + g * hy + hz, g * hx + hy + hz)
+
+
+def mm_exponent_from_dimensions(m: float, n: float, p: float,
+                                omega: float = OMEGA) -> float:
+    """The blocked-FMM exponent for explicit (log-scale) dimensions."""
+    g = gamma(omega)
+    return max(m + n + g * p, m + g * n + p, g * m + n + p)
+
+
+def omega_submodular_width_four_cycle(omega: float = OMEGA) -> float:
+    """``ω-subw(Q□bool, S□) = (4ω−1)/(2ω+1)`` (Section 9.3, [44], [60], [21]).
+
+    The value interpolates between 7/5 (if ω were 2) and 11/7 (for naive
+    ω = 3); with the current best bound ω ≈ 2.371552 it is ≈ 1.4776, strictly
+    below the combinatorial submodular width 3/2.
+    """
+    if omega < 2.0 or omega > 3.0:
+        raise ValueError("the matrix multiplication exponent ω lies in [2, 3]")
+    return (4.0 * omega - 1.0) / (2.0 * omega + 1.0)
+
+
+def fmm_beats_combinatorial_four_cycle(omega: float = OMEGA) -> bool:
+    """True when the FMM-based plan beats PANDA's N^{3/2} for the Boolean 4-cycle.
+
+    Solving ``(4ω−1)/(2ω+1) < 3/2`` gives ``ω < 5/2``.
+    """
+    return omega_submodular_width_four_cycle(omega) < 1.5
+
+
+@dataclass
+class OmegaWidthReport:
+    """Comparison of the combinatorial and FMM widths of the Boolean 4-cycle."""
+
+    omega: float
+    submodular_width: float
+    omega_submodular_width: float
+
+    @property
+    def speedup_exponent(self) -> float:
+        return self.submodular_width - self.omega_submodular_width
+
+    def describe(self) -> str:
+        return (f"ω = {self.omega:.6g}: subw = {self.submodular_width:.4g}, "
+                f"ω-subw = {self.omega_submodular_width:.6g} "
+                f"(gain of N^{self.speedup_exponent:.4g})")
+
+
+def four_cycle_width_report(omega: float = OMEGA) -> OmegaWidthReport:
+    """The E8 comparison: subw = 3/2 vs ω-subw = (4ω−1)/(2ω+1)."""
+    return OmegaWidthReport(
+        omega=omega,
+        submodular_width=1.5,
+        omega_submodular_width=omega_submodular_width_four_cycle(omega),
+    )
+
+
+def crossover_omega() -> float:
+    """The ω value at which FMM stops helping the Boolean 4-cycle (ω = 5/2)."""
+    return 2.5

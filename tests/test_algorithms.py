@@ -1,0 +1,291 @@
+"""Tests for the evaluation algorithms: brute force, generic join, Yannakakis,
+binary plans, static TD plans, FAQ/semiring evaluation and matrix multiplication."""
+
+import pytest
+
+from repro.algorithms import (
+    CyclicQueryError,
+    best_binary_plan,
+    boolean_answer,
+    count_answers,
+    count_four_cycles,
+    count_query_answers,
+    count_triangles,
+    count_two_paths,
+    evaluate_binary_plan,
+    evaluate_bruteforce,
+    evaluate_faq,
+    evaluate_static_plan,
+    evaluate_yannakakis,
+    four_cycle_exists,
+    generic_join,
+    generic_join_full,
+    greedy_atom_order,
+    greedy_elimination_order,
+    matrix_multiplication_cost,
+    relation_to_matrix,
+)
+from repro.datagen import hard_four_cycle_instance, random_graph_database
+from repro.decompositions import TreeDecomposition, enumerate_tree_decompositions
+from repro.paperdata import figure2_database, figure2_expected_output
+from repro.query import (
+    four_cycle_boolean,
+    four_cycle_full,
+    four_cycle_projected,
+    parse_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.relational import (
+    BOOLEAN_SEMIRING,
+    COUNTING_SEMIRING,
+    MIN_PLUS_SEMIRING,
+    Relation,
+    WorkCounter,
+)
+from repro.utils.varsets import varset
+
+
+# ---------------------------------------------------------------------------
+# brute force (ground truth) on Figure 2
+# ---------------------------------------------------------------------------
+
+def test_bruteforce_reproduces_figure2_output():
+    database = figure2_database()
+    output = evaluate_bruteforce(four_cycle_full(), database)
+    assert output.project(["X", "Y", "Z", "W"]).rows == frozenset(figure2_expected_output())
+    projected = evaluate_bruteforce(four_cycle_projected(), database)
+    assert projected.rows == frozenset({(1, "p"), (1, "q")})
+    assert boolean_answer(four_cycle_projected(), database)
+    assert count_answers(four_cycle_full(), database) == 3
+
+
+def test_bruteforce_boolean_query():
+    database = figure2_database()
+    result = evaluate_bruteforce(four_cycle_boolean(), database)
+    assert result.columns == ()
+    assert len(result) == 1
+
+
+# ---------------------------------------------------------------------------
+# generic (worst-case optimal) join
+# ---------------------------------------------------------------------------
+
+def test_generic_join_matches_bruteforce_on_cyclic_queries():
+    for query in (triangle_query(), four_cycle_full(), four_cycle_projected()):
+        database = random_graph_database(query, 40, 9, seed=3)
+        assert generic_join(query, database).rows == evaluate_bruteforce(query, database).rows
+
+
+def test_generic_join_respects_variable_order_and_counts_work():
+    query = triangle_query()
+    database = random_graph_database(query, 30, 8, seed=1)
+    counter = WorkCounter()
+    result = generic_join(query, database, variable_order=["Z", "X", "Y"], counter=counter)
+    assert result.rows == evaluate_bruteforce(query, database).rows
+    assert counter.intermediate_tuples > 0
+    with pytest.raises(ValueError):
+        generic_join(query, database, variable_order=["X", "Y"])
+
+
+def test_generic_join_full_helper():
+    query = four_cycle_projected()
+    database = figure2_database()
+    full = generic_join_full(query, database)
+    assert full.rows == evaluate_bruteforce(four_cycle_full(), database).rows
+
+
+# ---------------------------------------------------------------------------
+# Yannakakis
+# ---------------------------------------------------------------------------
+
+def test_yannakakis_matches_bruteforce_on_acyclic_queries():
+    cases = [
+        path_query(3, free_variables=("X1", "X4")),
+        path_query(2),
+        star_query(3, free_variables=("X0",)),
+        parse_query("Q(X1, X2, X3) :- R1(X1, X2), R2(X2, X3)"),
+    ]
+    for query in cases:
+        database = random_graph_database(query, 60, 12, seed=7)
+        assert evaluate_yannakakis(query, database).rows == \
+            evaluate_bruteforce(query, database).rows
+
+
+def test_yannakakis_boolean_acyclic():
+    query = path_query(2, free_variables=())
+    database = random_graph_database(query, 30, 10, seed=2)
+    answer = evaluate_yannakakis(query, database)
+    assert (len(answer) == 1) == (len(evaluate_bruteforce(query, database)) == 1)
+
+
+def test_yannakakis_rejects_cyclic_queries():
+    with pytest.raises(CyclicQueryError):
+        evaluate_yannakakis(triangle_query(), random_graph_database(triangle_query(), 10, 5, seed=0))
+
+
+def test_yannakakis_work_is_near_linear_on_free_connex_paths():
+    # Free variables inside a single atom keep the query free-connex, so the
+    # join phase's intermediates stay proportional to the input plus output.
+    query = path_query(2, free_variables=("X1", "X2"))
+    database = random_graph_database(query, 200, 40, seed=9)
+    counter = WorkCounter()
+    output = evaluate_yannakakis(query, database, counter=counter)
+    per_relation = database.max_relation_size()
+    assert counter.max_intermediate <= 2 * per_relation + len(output) + 10
+
+
+# ---------------------------------------------------------------------------
+# binary join plans
+# ---------------------------------------------------------------------------
+
+def test_binary_plan_matches_bruteforce_and_reports_work():
+    query = four_cycle_projected()
+    database = random_graph_database(query, 40, 9, seed=5)
+    answer, report = evaluate_binary_plan(query, database)
+    assert answer.rows == evaluate_bruteforce(query, database).rows
+    assert report.counter.max_intermediate > 0
+    assert "left-deep plan" in report.describe(query)
+    with pytest.raises(ValueError):
+        evaluate_binary_plan(query, database, atom_order=[0, 1])
+
+
+def test_greedy_atom_order_is_a_permutation():
+    query = four_cycle_projected()
+    database = figure2_database()
+    order = greedy_atom_order(query, database)
+    assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_best_binary_plan_is_no_worse_than_default():
+    query = triangle_query()
+    database = random_graph_database(query, 40, 8, seed=8)
+    _, default_report = evaluate_binary_plan(query, database)
+    _, best_report = best_binary_plan(query, database)
+    assert best_report.counter.max_intermediate <= default_report.counter.max_intermediate
+
+
+# ---------------------------------------------------------------------------
+# static tree-decomposition plans
+# ---------------------------------------------------------------------------
+
+def test_static_plan_matches_bruteforce_on_every_decomposition():
+    query = four_cycle_projected()
+    database = random_graph_database(query, 40, 9, seed=6)
+    truth = evaluate_bruteforce(query, database)
+    for decomposition in enumerate_tree_decompositions(query):
+        answer, report = evaluate_static_plan(query, database, decomposition)
+        assert answer.rows == truth.rows
+        assert set(report.bag_sizes) == set(decomposition.bags)
+        assert "static plan" in report.describe()
+
+
+def test_static_plan_boolean_and_validation():
+    query = four_cycle_boolean()
+    database = hard_four_cycle_instance(10)
+    decomposition = enumerate_tree_decompositions(query)[0]
+    answer, _ = evaluate_static_plan(query, database, decomposition)
+    assert len(answer) == 1
+    bad = TreeDecomposition([varset("XY")])
+    with pytest.raises(ValueError):
+        evaluate_static_plan(query, database, bad)
+
+
+def test_static_plan_materialises_quadratic_bags_on_hard_instances():
+    query = four_cycle_projected()
+    size = 40
+    database = hard_four_cycle_instance(size)
+    decomposition = enumerate_tree_decompositions(query)[0]
+    _, report = evaluate_static_plan(query, database, decomposition)
+    assert report.max_bag_size >= (size / 2) ** 2
+
+
+# ---------------------------------------------------------------------------
+# FAQ / semiring evaluation
+# ---------------------------------------------------------------------------
+
+def test_faq_counting_matches_bruteforce_assignment_count():
+    query = four_cycle_full()
+    database = figure2_database()
+    assert count_query_answers(query, database) == 3
+    result = evaluate_faq(four_cycle_boolean(), database, COUNTING_SEMIRING)
+    assert result.scalar() == 3
+
+
+def test_faq_boolean_semiring_answers_boolean_queries():
+    database = figure2_database()
+    result = evaluate_faq(four_cycle_boolean(), database, BOOLEAN_SEMIRING)
+    assert result.scalar() is True
+
+
+def test_faq_projected_query_counts_witnesses():
+    database = figure2_database()
+    result = evaluate_faq(four_cycle_projected(), database, COUNTING_SEMIRING)
+    counts = {row: value for row, value in result.output.items()}
+    columns = result.output.columns
+    as_xy = {tuple(dict(zip(columns, row))[v] for v in ("X", "Y")): value
+             for row, value in counts.items()}
+    assert as_xy == {(1, "p"): 1, (1, "q"): 2}
+
+
+def test_faq_min_plus_finds_minimum_weight_cycle():
+    database = figure2_database()
+
+    def weight(relation_name, row):
+        return 1.0 if relation_name == "R" else 0.0
+
+    result = evaluate_faq(four_cycle_boolean(), database, MIN_PLUS_SEMIRING, weight=weight)
+    assert result.scalar() == pytest.approx(1.0)
+
+
+def test_faq_respects_explicit_elimination_order_and_validates_it():
+    query = four_cycle_projected()
+    database = figure2_database()
+    result = evaluate_faq(query, database, COUNTING_SEMIRING, elimination_order=["W", "Z"])
+    assert result.max_intermediate > 0
+    with pytest.raises(ValueError):
+        evaluate_faq(query, database, COUNTING_SEMIRING, elimination_order=["X"])
+
+
+def test_greedy_elimination_order_covers_bound_variables():
+    query = four_cycle_projected()
+    assert set(greedy_elimination_order(query)) == {"Z", "W"}
+
+
+# ---------------------------------------------------------------------------
+# matrix-multiplication evaluation
+# ---------------------------------------------------------------------------
+
+def test_matmul_counts_match_faq_on_figure2():
+    database = figure2_database()
+    r, s, t, u = (database.bind_atom(atom) for atom in four_cycle_full().atoms)
+    assert count_four_cycles(r, s, t, u) == 3
+    assert four_cycle_exists(r, s, t, u)
+
+
+def test_matmul_counts_match_faq_on_random_data():
+    query = four_cycle_full()
+    database = random_graph_database(query, 30, 7, seed=11)
+    r, s, t, u = (database.bind_atom(atom) for atom in query.atoms)
+    assert count_four_cycles(r, s, t, u) == count_query_answers(query, database)
+
+
+def test_matmul_triangles_and_two_paths():
+    query = triangle_query()
+    database = random_graph_database(query, 25, 6, seed=12)
+    r, s, t = (database.bind_atom(atom) for atom in query.atoms)
+    assert count_triangles(r, s, t) == count_query_answers(query, database)
+    two_path = path_query(2)
+    db2 = random_graph_database(two_path, 30, 8, seed=13)
+    r1, r2 = (db2.bind_atom(atom) for atom in two_path.atoms)
+    assert count_two_paths(r1, r2, "X2", "X1", "X3") == count_query_answers(two_path, db2)
+
+
+def test_relation_to_matrix_and_cost_model():
+    relation = Relation("R", ("X", "Y"), [(1, "a"), (2, "b")])
+    matrix, index = relation_to_matrix(relation, "X", "Y")
+    assert matrix.shape == index.shape == (2, 2)
+    assert matrix.sum() == 2
+    assert matrix_multiplication_cost(10, 10, 10, omega=3.0) == pytest.approx(1000.0)
+    assert matrix_multiplication_cost(10, 10, 10, omega=2.0) == pytest.approx(100.0)

@@ -1,0 +1,87 @@
+"""Unit tests for conjunctive queries, atoms and the parser."""
+
+import pytest
+
+from repro.query import Atom, ConjunctiveQuery, QueryParseError, make_atom, parse_query
+
+
+def test_atom_varset_and_str():
+    atom = Atom("R", ("X", "Y"))
+    assert atom.varset == frozenset({"X", "Y"})
+    assert str(atom) == "R(X, Y)"
+
+
+def test_atom_rejects_repeated_variables():
+    with pytest.raises(ValueError):
+        Atom("R", ("X", "X"))
+
+
+def test_make_atom_shorthand():
+    assert make_atom("R", "XY").variables == ("X", "Y")
+    assert make_atom("R", ["X1", "X2"]).variables == ("X1", "X2")
+
+
+def test_query_defaults_to_full():
+    query = ConjunctiveQuery([Atom("R", ("X", "Y")), Atom("S", ("Y", "Z"))])
+    assert query.is_full
+    assert query.variables == frozenset({"X", "Y", "Z"})
+    assert query.free_variables == query.variables
+    assert not query.is_boolean
+
+
+def test_boolean_and_projected_queries():
+    atoms = [Atom("R", ("X", "Y")), Atom("S", ("Y", "Z"))]
+    boolean = ConjunctiveQuery(atoms, free_variables=())
+    assert boolean.is_boolean
+    projected = ConjunctiveQuery(atoms, free_variables=("X",))
+    assert projected.bound_variables == frozenset({"Y", "Z"})
+    assert projected.with_free_variables(("X", "Z")).free_variables == frozenset({"X", "Z"})
+    assert projected.boolean_version().is_boolean
+    assert projected.full_version().is_full
+
+
+def test_query_rejects_unknown_free_variables():
+    with pytest.raises(ValueError):
+        ConjunctiveQuery([Atom("R", ("X", "Y"))], free_variables=("Z",))
+
+
+def test_query_rejects_empty_atom_list():
+    with pytest.raises(ValueError):
+        ConjunctiveQuery([])
+
+
+def test_self_join_detection():
+    query = ConjunctiveQuery([Atom("E", ("X", "Y")), Atom("E", ("Y", "Z"))])
+    assert query.has_self_join
+    assert query.atoms_for_relation("E") == query.atoms
+
+
+def test_query_equality_and_hash():
+    a = ConjunctiveQuery([Atom("R", ("X", "Y"))], free_variables=("X",))
+    b = ConjunctiveQuery([Atom("R", ("X", "Y"))], free_variables=("X",))
+    c = ConjunctiveQuery([Atom("R", ("X", "Y"))], free_variables=("Y",))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_parse_query_roundtrip():
+    query = parse_query("Q(X, Y) :- R(X, Y), S(Y, Z), T(Z, W), U(W, X)")
+    assert query.name == "Q"
+    assert query.free_variables == frozenset({"X", "Y"})
+    assert [atom.relation for atom in query.atoms] == ["R", "S", "T", "U"]
+
+
+def test_parse_query_accepts_conjunction_symbols():
+    query = parse_query("Q() :- R(X, Y) ∧ S(Y, Z)")
+    assert query.is_boolean
+    assert len(query.atoms) == 2
+
+
+def test_parse_query_errors():
+    with pytest.raises(QueryParseError):
+        parse_query("Q(X) R(X, Y)")
+    with pytest.raises(QueryParseError):
+        parse_query("Q(Z) :- R(X, Y)")
+    with pytest.raises(QueryParseError):
+        parse_query("Q(X) :- ")

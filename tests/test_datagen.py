@@ -1,0 +1,76 @@
+"""Tests for the synthetic data generators and named workloads."""
+
+import pytest
+
+from repro.datagen import (
+    Workload,
+    erdos_renyi_edges,
+    four_cycle_hard_workload,
+    four_cycle_random_workload,
+    functional_relation,
+    hard_four_cycle_instance,
+    path_workload,
+    random_binary_relation,
+    random_graph_database,
+    skewed_binary_relation,
+    triangle_workload,
+)
+from repro.query import four_cycle_projected, triangle_query
+from repro.stats import collect_statistics, satisfies
+
+
+def test_random_binary_relation_size_and_determinism():
+    first = random_binary_relation("R", 50, 20, seed=1)
+    second = random_binary_relation("R", 50, 20, seed=1)
+    assert len(first) == 50
+    assert first.rows == second.rows
+    with pytest.raises(ValueError):
+        random_binary_relation("R", 50, 5, seed=1)
+
+
+def test_skewed_relation_is_actually_skewed():
+    relation = skewed_binary_relation("R", 200, 100, skew=1.5, seed=2)
+    assert len(relation) > 0
+    degrees = relation.degree_vector(["b"], ["a"])
+    assert max(degrees.values()) >= 3 * (sum(degrees.values()) / len(degrees)) / 2
+
+
+def test_hard_instance_structure():
+    database = hard_four_cycle_instance(20)
+    for name in ("R", "S", "T", "U"):
+        relation = database[name]
+        assert len(relation) == 20
+        # Half the tuples share value 1 in column b, half share it in column a.
+        assert relation.degree(["a"], ["b"]) == 10
+        assert relation.degree(["b"], ["a"]) == 10
+    with pytest.raises(ValueError):
+        hard_four_cycle_instance(7)
+
+
+def test_random_graph_database_matches_query_schema():
+    query = four_cycle_projected()
+    database = random_graph_database(query, 30, 10, seed=3)
+    assert set(database.relation_names()) == {"R", "S", "T", "U"}
+    stats = collect_statistics(database, query)
+    assert satisfies(database, query, stats)
+
+
+def test_erdos_renyi_and_functional_relation():
+    graph = erdos_renyi_edges("E", 20, 0.2, seed=4)
+    assert all(u != v for u, v in graph)
+    functional = functional_relation("U", 30, fan_in=3, seed=5)
+    assert functional.degree(["b"], ["a"]) == 1      # the FD a -> b
+    assert functional.degree(["a"], ["b"]) <= 3
+
+
+def test_workload_factories():
+    hard = four_cycle_hard_workload(20)
+    assert isinstance(hard, Workload)
+    assert hard.input_size == 20
+    assert "static" in hard.description
+    random_wl = four_cycle_random_workload(30, seed=1)
+    assert random_wl.query.free_variables == frozenset({"X", "Y"})
+    tri = triangle_workload(30, seed=2)
+    assert set(tri.database.relation_names()) == {"R", "S", "T"}
+    path = path_workload(3, 40)
+    assert path.query.free_variables == frozenset({"X1", "X4"})

@@ -1,0 +1,76 @@
+"""Tests for disjunctive datalog rules and bag selectors (Section 5)."""
+
+import pytest
+
+from repro.bounds import ddr_polymatroid_bound
+from repro.ddr import DisjunctiveDatalogRule, bag_selectors, ddrs_for_query
+from repro.decompositions import TreeDecomposition, enumerate_tree_decompositions
+from repro.paperdata import figure2_database
+from repro.query import four_cycle_full, four_cycle_projected
+from repro.relational import Relation
+from repro.datagen import hard_four_cycle_instance
+from repro.stats import collect_statistics
+from repro.utils.varsets import varset
+
+
+def test_ddr_construction_and_rendering(four_cycle):
+    ddr = DisjunctiveDatalogRule(four_cycle, (varset("XYZ"), varset("YZW")))
+    assert ddr.variables == varset("XYZW")
+    assert "∨" in str(ddr)
+    with pytest.raises(ValueError):
+        DisjunctiveDatalogRule(four_cycle, ())
+    with pytest.raises(ValueError):
+        DisjunctiveDatalogRule(four_cycle, (varset("XQ"),))
+
+
+def test_bag_selectors_of_the_four_cycle(four_cycle):
+    """BS(Q□) has exactly four selectors: one bag from T1 and one from T2."""
+    decompositions = enumerate_tree_decompositions(four_cycle)
+    selectors = bag_selectors(decompositions)
+    assert len(selectors) == 4
+    rendered = {frozenset(selector) for selector in selectors}
+    assert frozenset({varset("XYZ"), varset("YZW")}) in rendered
+    assert frozenset({varset("XZW"), varset("WXY")}) in rendered
+    ddrs = ddrs_for_query(four_cycle, decompositions)
+    assert len(ddrs) == 4
+
+
+def test_bag_selectors_drop_redundant_bags():
+    t1 = TreeDecomposition([varset("XYZ"), varset("XZW")])
+    t2 = TreeDecomposition([varset("XY"), varset("XYZW")])
+    selectors = bag_selectors([t1, t2])
+    # A selector containing both XYZ and XYZW keeps only the smaller XYZ.
+    for selector in selectors:
+        for bag in selector:
+            assert not any(other < bag for other in selector)
+    assert bag_selectors([]) == []
+
+
+def test_ddr_model_checking_on_figure2(four_cycle):
+    database = figure2_database()
+    ddr = DisjunctiveDatalogRule(four_cycle, (varset("XYZ"), varset("YZW")))
+    # The projections of the full output onto the two targets form a model.
+    good = {
+        varset("XYZ"): Relation("A11", ("X", "Y", "Z"),
+                                [(1, "p", 3), (1, "q", 5)]),
+        varset("YZW"): Relation("A21", ("W", "Y", "Z"), []),
+    }
+    assert ddr.is_model(database, good)
+    # Removing a needed tuple breaks the model.
+    bad = {
+        varset("XYZ"): Relation("A11", ("X", "Y", "Z"), [(1, "p", 3)]),
+        varset("YZW"): Relation("A21", ("W", "Y", "Z"), []),
+    }
+    assert not ddr.is_model(database, bad)
+    assert len(ddr.uncovered_tuples(database, bad)) == 2
+
+
+def test_ddr_greedy_model_respects_polymatroid_bound(four_cycle):
+    """The constructed model of Section 5.2's proof stays within the Theorem 5.1 bound."""
+    database = hard_four_cycle_instance(20)
+    statistics = collect_statistics(database, four_cycle_full(), include_degrees=False)
+    targets = (varset("XYZ"), varset("YZW"))
+    ddr = DisjunctiveDatalogRule(four_cycle, targets)
+    greedy = ddr.minimal_model_size(database)
+    bound = ddr_polymatroid_bound(targets, statistics, variables=varset("XYZW"))
+    assert greedy <= bound.size_bound * (1 + 1e-9)

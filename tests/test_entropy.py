@@ -1,0 +1,125 @@
+"""Unit tests for set functions, elemental inequalities and empirical entropy."""
+
+import math
+
+import pytest
+
+from repro.entropy import (
+    SetFunction,
+    count_elemental_inequalities,
+    elemental_inequalities,
+    elemental_monotonicities,
+    elemental_submodularities,
+    entropy_of_distribution,
+    entropy_vector,
+    marginal_probabilities,
+    modular_function,
+    monotonicity,
+    normalized_entropy_vector,
+    submodularity,
+    uniform_step_function,
+)
+from repro.relational import Relation
+from repro.utils.varsets import varset
+
+
+def test_setfunction_storage_and_conditionals():
+    h = SetFunction(varset("XY"), {varset("X"): 1.0, varset("Y"): 1.0, varset("XY"): 1.5})
+    assert h[varset("X")] == 1.0
+    assert h["XY"] == 1.5
+    assert h[frozenset()] == 0.0
+    assert h.conditional("Y", "X") == pytest.approx(0.5)
+    assert h.mutual_information("X", "Y") == pytest.approx(0.5)
+    assert h.is_complete()
+    with pytest.raises(KeyError):
+        SetFunction(varset("X"))["Y"]
+    with pytest.raises(ValueError):
+        h[frozenset()] = 1.0
+
+
+def test_polymatroid_checks():
+    good = SetFunction(varset("XY"), {varset("X"): 1.0, varset("Y"): 1.0, varset("XY"): 1.5})
+    assert good.is_monotone() and good.is_submodular() and good.is_polymatroid()
+    not_submodular = SetFunction(varset("XY"),
+                                 {varset("X"): 1.0, varset("Y"): 1.0, varset("XY"): 2.5})
+    assert not not_submodular.is_submodular()
+    not_monotone = SetFunction(varset("XY"),
+                               {varset("X"): 2.0, varset("Y"): 1.0, varset("XY"): 1.5})
+    assert not not_monotone.is_monotone()
+
+
+def test_step_and_modular_functions_are_polymatroids():
+    step = uniform_step_function(varset("XYZ"))
+    assert step.is_polymatroid()
+    modular = modular_function({"X": 0.5, "Y": 1.0, "Z": 2.0})
+    assert modular.is_polymatroid()
+    assert modular["XYZ"] == pytest.approx(3.5)
+
+
+def test_scaled():
+    h = uniform_step_function(varset("XY"), value=2.0)
+    assert h.scaled(0.5)["XY"] == pytest.approx(1.0)
+
+
+def test_elemental_inequality_counts():
+    for n, variables in [(2, "XY"), (3, "XYZ"), (4, "XYZW")]:
+        inequalities = elemental_inequalities(varset(variables))
+        assert len(inequalities) == count_elemental_inequalities(n)
+    assert len(list(elemental_monotonicities(varset("XYZW")))) == 4
+    assert len(list(elemental_submodularities(varset("XYZW")))) == 24
+
+
+def test_elemental_inequalities_hold_for_entropy_vectors(figure2_db):
+    relation = figure2_db["R"].rename({"x": "X", "y": "Y"})
+    h = entropy_vector(relation)
+    for inequality in elemental_inequalities(varset("XY")):
+        assert inequality.evaluate(h) >= -1e-9
+
+
+def test_monotonicity_and_submodularity_constructors():
+    mono = monotonicity(varset("XY"), varset("X"))
+    assert mono.kind == "monotonicity"
+    assert mono.coefficient_map()[varset("XY")] == 1
+    with pytest.raises(ValueError):
+        monotonicity(varset("X"), varset("XY"))
+    sub = submodularity({"X"}, {"Z"}, {"Y"})
+    coeffs = sub.coefficient_map()
+    assert coeffs[varset("XY")] == 1 and coeffs[varset("YZ")] == 1
+    assert coeffs[varset("XYZ")] == -1 and coeffs[varset("Y")] == -1
+    with pytest.raises(ValueError):
+        submodularity({"X"}, {"X"})
+    assert "submodularity" in str(sub)
+
+
+def test_entropy_of_distribution():
+    assert entropy_of_distribution({(0,): 0.5, (1,): 0.5}) == pytest.approx(1.0)
+    assert entropy_of_distribution({(0,): 1.0}) == pytest.approx(0.0)
+
+
+def test_entropy_vector_uniform_over_relation():
+    relation = Relation("O", ("X", "Y"), [(1, "a"), (2, "b"), (3, "c"), (4, "d")])
+    h = entropy_vector(relation)
+    assert h["XY"] == pytest.approx(2.0)          # log2 4
+    assert h["X"] == pytest.approx(2.0)
+    assert h.is_polymatroid()
+
+
+def test_normalized_entropy_vector_matches_log_scale():
+    relation = Relation("O", ("X", "Y"), [(i, i) for i in range(8)])
+    h = normalized_entropy_vector(relation, reference_size=64)
+    assert h["XY"] == pytest.approx(math.log(8) / math.log(64))
+
+
+def test_entropy_vector_rejects_bad_input():
+    with pytest.raises(ValueError):
+        entropy_vector(Relation("E", ("X",), []))
+    relation = Relation("O", ("X",), [(1,), (2,)])
+    with pytest.raises(ValueError):
+        entropy_vector(relation, probabilities={(1,): 0.7, (2,): 0.2})
+
+
+def test_marginal_probabilities():
+    relation = Relation("O", ("X", "Y"), [(1, "a"), (1, "b"), (2, "a")])
+    marginals = marginal_probabilities(relation, frozenset({"X"}))
+    assert marginals[(1,)] == pytest.approx(2 / 3)
+    assert marginals[(2,)] == pytest.approx(1 / 3)

@@ -1,0 +1,81 @@
+"""Unit tests for hypergraphs, GYO reduction, acyclicity and free-connexity."""
+
+from repro.query import (
+    Hypergraph,
+    four_cycle_projected,
+    gyo_reduction,
+    is_acyclic,
+    is_free_connex,
+    path_query,
+    query_hypergraph,
+    triangle_query,
+)
+
+
+def test_hypergraph_basics():
+    graph = Hypergraph([{"X", "Y"}, {"Y", "Z"}])
+    assert graph.vertices == frozenset({"X", "Y", "Z"})
+    assert graph.edges_containing("Y") == [0, 1]
+    assert graph.neighbors("Y") == frozenset({"X", "Z"})
+    induced = graph.induced({"X", "Y"})
+    assert set(induced.edges) == {frozenset({"X", "Y"}), frozenset({"Y"})}
+
+
+def test_path_is_acyclic_and_triangle_is_not():
+    path = path_query(3)
+    assert is_acyclic([atom.varset for atom in path.atoms])
+    triangle = triangle_query()
+    assert not is_acyclic([atom.varset for atom in triangle.atoms])
+
+
+def test_four_cycle_is_cyclic():
+    query = four_cycle_projected()
+    assert not is_acyclic([atom.varset for atom in query.atoms])
+
+
+def test_gyo_produces_a_join_tree_for_acyclic_queries():
+    path = path_query(3)
+    tree = gyo_reduction([atom.varset for atom in path.atoms])
+    assert tree is not None
+    assert len(tree.nodes) == 3
+    # Exactly one root.
+    assert sum(1 for parent in tree.parent if parent is None) == 1
+    # Bottom-up order visits children before parents.
+    order = tree.bottom_up_order()
+    for child, parent in tree.edges():
+        assert order.index(child) < order.index(parent)
+
+
+def test_gyo_returns_none_for_cyclic_hypergraphs():
+    triangle = triangle_query()
+    assert gyo_reduction([atom.varset for atom in triangle.atoms]) is None
+
+
+def test_acyclic_single_edge_and_nested_edges():
+    assert is_acyclic([{"X", "Y", "Z"}])
+    assert is_acyclic([{"X", "Y", "Z"}, {"X", "Y"}, {"Z"}])
+
+
+def test_free_connex_path():
+    path = path_query(2)
+    edges = [atom.varset for atom in path.atoms]
+    # Keeping one atom's variables is free-connex; the Boolean version is
+    # trivially free-connex.
+    assert is_free_connex(edges, {"X1", "X2"})
+    assert is_free_connex(edges, set())
+    assert is_free_connex(edges, {"X1", "X2", "X3"})
+
+
+def test_non_free_connex_examples():
+    # The matrix-multiplication pattern π_{X1,X3}(R(X1,X2) ⋈ S(X2,X3)) is the
+    # classical acyclic-but-not-free-connex query.
+    path2 = path_query(2)
+    assert not is_free_connex([atom.varset for atom in path2.atoms], {"X1", "X3"})
+    path3 = path_query(3)
+    assert not is_free_connex([atom.varset for atom in path3.atoms], {"X1", "X3"})
+
+
+def test_query_hypergraph_matches_atoms():
+    query = triangle_query()
+    graph = query_hypergraph(query)
+    assert set(graph.edges) == {atom.varset for atom in query.atoms}

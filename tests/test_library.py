@@ -1,0 +1,81 @@
+"""Unit tests for the query library."""
+
+import pytest
+
+from repro.query import (
+    bowtie_query,
+    clique_query,
+    cycle_query,
+    four_cycle_boolean,
+    four_cycle_full,
+    four_cycle_projected,
+    is_acyclic,
+    loomis_whitney_query,
+    path_query,
+    star_query,
+    triangle_query,
+    two_path_projected,
+)
+
+
+def test_four_cycle_variants_match_paper():
+    full = four_cycle_full()
+    assert full.is_full
+    assert full.variables == frozenset("XYZW")
+    assert [a.relation for a in full.atoms] == ["R", "S", "T", "U"]
+
+    projected = four_cycle_projected()
+    assert projected.free_variables == frozenset({"X", "Y"})
+    assert projected.bound_variables == frozenset({"Z", "W"})
+
+    boolean = four_cycle_boolean()
+    assert boolean.is_boolean
+
+
+def test_cycle_query_general_lengths():
+    c5 = cycle_query(5)
+    assert len(c5.atoms) == 5
+    assert len(c5.variables) == 5
+    assert not is_acyclic([a.varset for a in c5.atoms])
+    with pytest.raises(ValueError):
+        cycle_query(2)
+
+
+def test_triangle_and_loomis_whitney():
+    triangle = triangle_query()
+    assert len(triangle.atoms) == 3
+    lw3 = loomis_whitney_query(3)
+    assert len(lw3.atoms) == 3
+    assert all(len(a.variables) == 2 for a in lw3.atoms)
+    lw4 = loomis_whitney_query(4)
+    assert all(len(a.variables) == 3 for a in lw4.atoms)
+    with pytest.raises(ValueError):
+        loomis_whitney_query(2)
+
+
+def test_path_and_star_are_acyclic():
+    assert is_acyclic([a.varset for a in path_query(4).atoms])
+    assert is_acyclic([a.varset for a in star_query(5).atoms])
+    with pytest.raises(ValueError):
+        path_query(0)
+    with pytest.raises(ValueError):
+        star_query(0)
+
+
+def test_clique_query_structure():
+    k4 = clique_query(4)
+    assert len(k4.atoms) == 6
+    assert len(k4.variables) == 4
+    with pytest.raises(ValueError):
+        clique_query(2)
+
+
+def test_two_path_projected_is_matrix_pattern():
+    query = two_path_projected()
+    assert query.free_variables == frozenset({"X1", "X3"})
+
+
+def test_bowtie_is_cyclic_with_six_atoms():
+    bowtie = bowtie_query()
+    assert len(bowtie.atoms) == 6
+    assert not is_acyclic([a.varset for a in bowtie.atoms])

@@ -1,0 +1,99 @@
+"""Unit tests for the LP front end and the exact rational simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp import (
+    ExactLPError,
+    InfeasibleProgramError,
+    LinearProgram,
+    UnboundedProgramError,
+    solve_max,
+    solve_min_with_inequalities,
+    solve_standard_form,
+)
+
+
+def test_linear_program_maximize():
+    program = LinearProgram("toy")
+    program.add_le({"x": 1.0, "y": 1.0}, 4.0)
+    program.add_le({"x": 1.0}, 3.0)
+    program.set_objective({"x": 1.0, "y": 2.0}, maximize=True)
+    solution = program.solve()
+    assert solution.objective == pytest.approx(8.0)
+    assert solution.value("y") == pytest.approx(4.0)
+    assert solution.nonzero() == pytest.approx({"y": 4.0})
+
+
+def test_linear_program_minimize_with_equality():
+    program = LinearProgram()
+    program.add_eq({"x": 1.0, "y": 1.0}, 2.0)
+    program.add_ge({"x": 1.0}, 0.5)
+    program.set_objective({"x": 3.0, "y": 1.0}, maximize=False)
+    solution = program.solve()
+    assert solution.objective == pytest.approx(0.5 * 3 + 1.5)
+
+
+def test_linear_program_infeasible_and_unbounded():
+    infeasible = LinearProgram()
+    infeasible.add_le({"x": 1.0}, 1.0)
+    infeasible.add_ge({"x": 1.0}, 2.0)
+    infeasible.set_objective({"x": 1.0})
+    with pytest.raises(InfeasibleProgramError):
+        infeasible.solve()
+
+    unbounded = LinearProgram()
+    unbounded.add_variable("x", lower=0.0)
+    unbounded.set_objective({"x": 1.0}, maximize=True)
+    with pytest.raises(UnboundedProgramError):
+        unbounded.solve()
+
+
+def test_empty_program_and_describe():
+    program = LinearProgram("empty")
+    assert program.solve().objective == 0.0
+    program.add_le({"x": 1.0}, 1.0)
+    assert "1 constraints" in program.describe()
+    assert program.num_variables == 1
+
+
+def test_solve_max_helper():
+    solution = solve_max({"x": 1.0}, [({"x": 2.0}, 3.0)])
+    assert solution.objective == pytest.approx(1.5)
+
+
+def test_exact_standard_form():
+    # min -x - y  s.t.  x + y + s = 2  (i.e. x + y <= 2)
+    solution = solve_standard_form([-1, -1, 0], [[1, 1, 1]], [2])
+    assert solution.objective == Fraction(-2)
+
+
+def test_exact_with_inequalities_matches_scipy():
+    # max x + 2y  s.t.  x + y <= 4, x <= 3  ==  min -(x + 2y)
+    solution = solve_min_with_inequalities([-1, -2], [[1, 1], [1, 0]], [4, 3])
+    assert solution.objective == Fraction(-8)
+    assert solution.values[1] == Fraction(4)
+
+
+def test_exact_equality_constraints():
+    # min x + y  s.t.  x + 2y = 4, x >= 0, y >= 0
+    solution = solve_min_with_inequalities([1, 1], [], [], [[1, 2]], [4])
+    assert solution.objective == Fraction(2)
+    assert solution.values == [Fraction(0), Fraction(2)]
+
+
+def test_exact_infeasible_raises():
+    with pytest.raises(ExactLPError):
+        solve_min_with_inequalities([1], [[1]], [1], [[1]], [5])
+
+
+def test_exact_unbounded_raises():
+    with pytest.raises(ExactLPError):
+        solve_standard_form([-1, 0], [[0, 1]], [1])
+
+
+def test_exact_fractional_solution_is_exact():
+    # min x  s.t.  3x = 1  ->  x = 1/3 exactly.
+    solution = solve_min_with_inequalities([1], [], [], [[3]], [1])
+    assert solution.values[0] == Fraction(1, 3)

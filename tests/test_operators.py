@@ -1,0 +1,71 @@
+"""Unit tests for the free-standing relational operators and the work counter."""
+
+import pytest
+
+from repro.relational import (
+    Relation,
+    WorkCounter,
+    cartesian_product,
+    join_all,
+    project,
+    semijoin_reduce,
+    union_all,
+)
+
+
+def test_join_all_and_counter():
+    r = Relation("R", ("x", "y"), [(1, "a"), (2, "b")])
+    s = Relation("S", ("y", "z"), [("a", 10), ("b", 20), ("c", 30)])
+    t = Relation("T", ("z",), [(10,)])
+    counter = WorkCounter()
+    joined = join_all([r, s, t], counter=counter)
+    assert joined.project(["x", "y", "z"]).rows == frozenset({(1, "a", 10)})
+    assert counter.materializations == 2
+    assert counter.max_intermediate >= 1
+
+
+def test_join_all_empty_list_is_unit():
+    unit = join_all([])
+    assert unit.columns == ()
+    assert len(unit) == 1
+
+
+def test_work_counter_merge():
+    first, second = WorkCounter(), WorkCounter()
+    first.record(Relation("A", ("x",), [(1,), (2,)]), note="a")
+    second.record(Relation("B", ("x",), [(1,), (2,), (3,)]), note="b")
+    first.merge(second)
+    assert first.intermediate_tuples == 5
+    assert first.max_intermediate == 3
+    assert len(first.notes) == 2
+
+
+def test_project_keeps_relation_order():
+    r = Relation("R", ("a", "b", "c"), [(1, 2, 3)])
+    assert project(r, ["c", "a"]).columns == ("a", "c")
+
+
+def test_semijoin_reduce_reaches_consistency():
+    r = Relation("R", ("x", "y"), [(1, "a"), (2, "b"), (3, "c")])
+    s = Relation("S", ("y", "z"), [("a", 10), ("b", 20)])
+    t = Relation("T", ("z", "w"), [(10, "w1")])
+    reduced = semijoin_reduce([r, s, t])
+    assert reduced[0].rows == frozenset({(1, "a")})
+    assert reduced[1].rows == frozenset({("a", 10)})
+    assert reduced[2].rows == frozenset({(10, "w1")})
+
+
+def test_cartesian_product_requires_disjoint_schemas():
+    a = Relation("A", ("x",), [(1,), (2,)])
+    b = Relation("B", ("y",), [(10,), (20,)])
+    product = cartesian_product(a, b)
+    assert len(product) == 4
+    with pytest.raises(ValueError):
+        cartesian_product(a, Relation("C", ("x",), [(3,)]))
+
+
+def test_union_all_projects_to_common_columns():
+    a = Relation("A", ("x", "y"), [(1, 2)])
+    b = Relation("B", ("y", "x"), [(4, 3)])
+    merged = union_all([a, b], columns=("x", "y"))
+    assert merged.rows == frozenset({(1, 2), (3, 4)})

@@ -1,0 +1,188 @@
+"""Tests for proof steps, proof-sequence construction (Table 1) and the Reset lemma."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.entropy import elemental_inequalities, submodularity
+from repro.flows import (
+    CompositionStep,
+    DecompositionStep,
+    MonotonicityStep,
+    ProofStepError,
+    ProofSequence,
+    ResetError,
+    SubmodularityStep,
+    Term,
+    construct_proof_sequence,
+    find_shannon_flow,
+    reset,
+    unconditional,
+)
+from repro.flows.shannon_flow import IntegralShannonFlow, ShannonFlowInequality
+from repro.paperdata import four_cycle_cardinality_statistics, four_cycle_full_statistics
+from repro.stats import statistics_for_query
+from repro.query import triangle_query
+from repro.utils.varsets import varset
+
+
+# ---------------------------------------------------------------------------
+# terms and steps
+# ---------------------------------------------------------------------------
+
+def test_term_basics():
+    term = Term(varset("Z"), varset("XY"))
+    assert term.union == varset("XYZ")
+    assert not term.is_unconditional
+    assert term.coefficients() == {varset("XYZ"): 1, varset("XY"): -1}
+    assert str(term) == "h({Z}|{X,Y})"
+    assert str(unconditional("XY")) == "h{X,Y}"
+    with pytest.raises(ValueError):
+        Term(frozenset())
+    with pytest.raises(ValueError):
+        Term(varset("X"), varset("X"))
+
+
+def test_term_evaluate_on_set_function():
+    from repro.entropy import modular_function
+
+    h = modular_function({"X": 1.0, "Y": 2.0})
+    assert Term(varset("Y"), varset("X")).evaluate(h) == pytest.approx(2.0)
+    assert Term(varset("XY")).evaluate(h) == pytest.approx(3.0)
+
+
+def test_steps_apply_and_describe():
+    terms = Counter({Term(varset("YZ")): 1})
+    DecompositionStep(varset("YZ"), varset("Y")).apply(terms)
+    assert terms == Counter({Term(varset("Y")): 1, Term(varset("Z"), varset("Y")): 1})
+    SubmodularityStep(varset("Z"), varset("Y"), varset("X")).apply(terms)
+    assert Term(varset("Z"), varset("XY")) in terms
+    terms[Term(varset("XY"))] += 1
+    CompositionStep(varset("XY"), varset("Z")).apply(terms)
+    assert Term(varset("XYZ")) in terms
+    MonotonicityStep(varset("XYZ"), varset("X")).apply(terms)
+    assert Term(varset("X")) in terms
+    step = DecompositionStep(varset("YZ"), varset("Y"))
+    assert "→" in step.describe()
+
+
+def test_step_preconditions_enforced():
+    with pytest.raises(ProofStepError):
+        CompositionStep(varset("X"), varset("Y")).apply(Counter())
+    with pytest.raises(ValueError):
+        DecompositionStep(varset("X"), varset("XY"))
+    with pytest.raises(ValueError):
+        MonotonicityStep(varset("X"), varset("X"))
+    with pytest.raises(ValueError):
+        SubmodularityStep(varset("Z"), varset("Y"), frozenset())
+    with pytest.raises(ValueError):
+        CompositionStep(frozenset(), varset("Y"))
+
+
+# ---------------------------------------------------------------------------
+# proof-sequence construction (Table 1)
+# ---------------------------------------------------------------------------
+
+def _paper_integral_flow():
+    """The integral inequality (62) with its identity form (63), built by hand."""
+    statistics = four_cycle_cardinality_statistics(1000)
+    constraints = {c.target: c for c in statistics.degree_constraints}
+    sources = {constraints[varset("XY")]: Fraction(1, 2),
+               constraints[varset("YZ")]: Fraction(1, 2),
+               constraints[varset("ZW")]: Fraction(1, 2)}
+    witness = {submodularity({"X"}, {"Z"}, {"Y"}): Fraction(1, 2),
+               submodularity({"Y"}, {"W", "Z"}): Fraction(1, 2)}
+    flow = ShannonFlowInequality(
+        targets={varset("XYZ"): Fraction(1, 2), varset("YZW"): Fraction(1, 2)},
+        sources=sources, witness=witness, statistics=statistics)
+    assert flow.verify()
+    return flow.to_integral()
+
+
+def test_paper_identity_form_is_valid_and_yields_a_proof_sequence():
+    """Table 1: a proof sequence exists for h(XYZ)+h(YZW) <= h(XY)+h(YZ)+h(ZW)."""
+    integral = _paper_integral_flow()
+    assert integral.verify()
+    sequence = construct_proof_sequence(integral)
+    assert sequence.verify()
+    assert len(sequence) >= 4
+    final = sequence.replay()
+    assert final[Term(varset("XYZ"))] >= 1
+    assert final[Term(varset("YZW"))] >= 1
+    assert "proof sequence" in sequence.describe()
+
+
+def test_proof_sequence_for_lp_derived_flows(s_box, s_box_full):
+    for targets, stats in [
+        ([varset("XYZ"), varset("YZW")], s_box),
+        ([varset("XZW"), varset("WXY")], s_box),
+        ([varset("XYZW")], s_box_full),
+    ]:
+        flow = find_shannon_flow(targets, stats, variables=varset("XYZW"))
+        sequence = construct_proof_sequence(flow.to_integral())
+        assert sequence.verify()
+
+
+def test_proof_sequence_for_shearer_triangle():
+    stats = statistics_for_query(triangle_query(), 1000)
+    flow = find_shannon_flow([varset("XYZ")], stats)
+    sequence = construct_proof_sequence(flow.to_integral())
+    assert sequence.verify()
+    # The triangle certificate needs a genuine submodularity (not just composition).
+    assert any(isinstance(step, SubmodularityStep) for step in sequence.steps)
+
+
+def test_proof_sequence_rejects_invalid_identity(s_box):
+    flow = find_shannon_flow([varset("XYZ"), varset("YZW")], s_box,
+                             variables=varset("XYZW"))
+    integral = flow.to_integral()
+    integral.targets[varset("XYZ")] += 5
+    with pytest.raises(Exception):
+        construct_proof_sequence(integral)
+
+
+def test_proof_sequence_verify_fails_for_wrong_steps():
+    sequence = ProofSequence(
+        initial_sources=Counter({Term(varset("XY")): 1}),
+        targets=Counter({varset("XYZ"): 1}),
+        steps=[CompositionStep(varset("XY"), varset("Z"))],
+    )
+    assert not sequence.verify()
+
+
+# ---------------------------------------------------------------------------
+# Reset lemma (Section 7.2)
+# ---------------------------------------------------------------------------
+
+def test_reset_lemma_on_the_paper_inequality():
+    """Dropping h(XY) from Eq. (62) loses at most one of the two targets."""
+    integral = _paper_integral_flow()
+    result = reset(integral, unconditional("XY"))
+    assert result.sources.get(Term(varset("XY")), 0) == 0
+    remaining_targets = sum(result.targets.values())
+    assert remaining_targets >= sum(integral.targets.values()) - 1
+    assert not result.identity_defect()
+
+
+def test_reset_lemma_preserves_validity_for_every_droppable_source(s_box, s_box_full):
+    for targets, stats in [
+        ([varset("XYZ"), varset("YZW")], s_box),
+        ([varset("XYZW")], s_box_full),
+    ]:
+        integral = find_shannon_flow(targets, stats, variables=varset("XYZW")).to_integral()
+        for term in list(integral.sources):
+            if not term.is_unconditional:
+                continue
+            result = reset(integral, term)
+            assert not result.identity_defect()
+            assert sum(result.targets.values()) >= sum(integral.targets.values()) - 1
+
+
+def test_reset_rejects_invalid_requests(s_box):
+    integral = find_shannon_flow([varset("XYZ"), varset("YZW")], s_box,
+                                 variables=varset("XYZW")).to_integral()
+    with pytest.raises(ResetError):
+        reset(integral, Term(varset("Z"), varset("Y")))
+    with pytest.raises(ResetError):
+        reset(integral, unconditional("WX"))   # h(WX) is not a source (w4 = 0)

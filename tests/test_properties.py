@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+* empirical entropy vectors are always polymatroids and satisfy every
+  elemental Shannon inequality;
+* the AGM / polymatroid bounds dominate the true output size on random
+  databases, and coincide when only cardinality constraints are given;
+* the evaluation algorithms (generic join, Yannakakis, static plans, adaptive
+  PANDA) agree with brute force on random databases;
+* Shannon-flow certificates derived from random degree-constraint statistics
+  verify exactly and their proof sequences replay correctly;
+* submodular width never exceeds fractional hypertree width.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    count_answers,
+    evaluate_bruteforce,
+    evaluate_static_plan,
+    evaluate_yannakakis,
+    generic_join,
+)
+from repro.bounds import agm_bound, polymatroid_bound
+from repro.decompositions import enumerate_tree_decompositions
+from repro.entropy import elemental_inequalities, entropy_vector
+from repro.flows import construct_proof_sequence, find_shannon_flow
+from repro.panda import evaluate_adaptive
+from repro.query import four_cycle_projected, path_query, triangle_query
+from repro.relational import Database, Relation
+from repro.stats import ConstraintSet, collect_statistics
+from repro.utils.varsets import varset
+from repro.widths import width_gap
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+FAST = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+def binary_relation(name: str, columns: tuple[str, str], max_domain: int = 6,
+                    max_rows: int = 12):
+    pair = st.tuples(st.integers(0, max_domain - 1), st.integers(0, max_domain - 1))
+    return st.lists(pair, min_size=1, max_size=max_rows).map(
+        lambda rows: Relation(name, columns, rows))
+
+
+def triangle_database():
+    return st.tuples(
+        binary_relation("R", ("a", "b")),
+        binary_relation("S", ("a", "b")),
+        binary_relation("T", ("a", "b")),
+    ).map(lambda rels: Database(list(rels)))
+
+
+def four_cycle_database():
+    return st.tuples(
+        binary_relation("R", ("a", "b")),
+        binary_relation("S", ("a", "b")),
+        binary_relation("T", ("a", "b")),
+        binary_relation("U", ("a", "b")),
+    ).map(lambda rels: Database(list(rels)))
+
+
+def path_database(length: int):
+    return st.tuples(*[binary_relation(f"R{i + 1}", ("a", "b")) for i in range(length)]) \
+        .map(lambda rels: Database(list(rels)))
+
+
+# ---------------------------------------------------------------------------
+# entropy invariants
+# ---------------------------------------------------------------------------
+
+@FAST
+@given(rows=st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+                     min_size=1, max_size=20))
+def test_empirical_entropy_vectors_are_polymatroids(rows):
+    relation = Relation("O", ("X", "Y", "Z"), rows)
+    h = entropy_vector(relation)
+    assert h.is_polymatroid(tolerance=1e-7)
+    for inequality in elemental_inequalities(varset("XYZ")):
+        assert inequality.evaluate(h) >= -1e-7
+
+
+# ---------------------------------------------------------------------------
+# bounds dominate reality
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(database=triangle_database())
+def test_bounds_dominate_actual_triangle_outputs(database):
+    query = triangle_query()
+    stats = collect_statistics(database, query, include_degrees=True)
+    actual = count_answers(query, database)
+    poly = polymatroid_bound(query, stats)
+    agm = agm_bound(query, ConstraintSet(stats.cardinality_constraints(), base=stats.base))
+    assert actual <= poly.size_bound * (1 + 1e-6) + 1e-9
+    assert poly.exponent <= agm.exponent + 1e-6
+
+
+@SLOW
+@given(database=four_cycle_database())
+def test_bounds_dominate_actual_four_cycle_outputs(database):
+    query = four_cycle_projected().full_version()
+    stats = collect_statistics(database, query, include_degrees=False)
+    actual = count_answers(query, database)
+    bound = polymatroid_bound(query, stats)
+    assert actual <= bound.size_bound * (1 + 1e-6) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# algorithms agree with brute force
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(database=triangle_database())
+def test_generic_join_matches_bruteforce_on_random_triangles(database):
+    query = triangle_query()
+    assert generic_join(query, database).rows == evaluate_bruteforce(query, database).rows
+
+
+@SLOW
+@given(database=path_database(3))
+def test_yannakakis_matches_bruteforce_on_random_paths(database):
+    query = path_query(3, free_variables=("X1", "X4"))
+    assert evaluate_yannakakis(query, database).rows == \
+        evaluate_bruteforce(query, database).rows
+
+
+@SLOW
+@given(database=four_cycle_database())
+def test_static_plans_match_bruteforce_on_random_four_cycles(database):
+    query = four_cycle_projected()
+    truth = evaluate_bruteforce(query, database)
+    decomposition = enumerate_tree_decompositions(query)[0]
+    answer, _ = evaluate_static_plan(query, database, decomposition)
+    assert answer.rows == truth.rows
+
+
+@SLOW
+@given(database=four_cycle_database())
+def test_adaptive_panda_matches_bruteforce_on_random_four_cycles(database):
+    query = four_cycle_projected()
+    truth = evaluate_bruteforce(query, database)
+    answer, report = evaluate_adaptive(query, database)
+    assert answer.rows == truth.rows
+    bound = report.ddr_reports[0].size_bound if report.ddr_reports else 0
+    for size in report.bag_sizes.values():
+        assert size <= 4 * bound + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# widths and flows
+# ---------------------------------------------------------------------------
+
+@given(sizes=st.lists(st.integers(2, 1000), min_size=4, max_size=4))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_subw_at_most_fhtw_for_random_cardinalities(sizes):
+    query = four_cycle_projected()
+    stats = ConstraintSet(base=max(sizes))
+    for atom, size in zip(query.atoms, sizes):
+        stats.add_cardinality(atom.varset, size, guard=atom.relation)
+    sub, frac = width_gap(query, stats)
+    assert sub <= frac + 1e-6
+
+
+@given(degree=st.integers(1, 40), size=st.integers(4, 2000))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_shannon_flow_certificates_verify_for_random_degree_statistics(degree, size):
+    query = four_cycle_projected()
+    stats = ConstraintSet(base=size)
+    for atom in query.atoms:
+        stats.add_cardinality(atom.varset, size, guard=atom.relation)
+    stats.add_degree("W", "X", degree, guard="U")
+    flow = find_shannon_flow([varset("XYZ"), varset("YZW")], stats,
+                             variables=query.variables)
+    assert flow.verify()
+    sequence = construct_proof_sequence(flow.to_integral())
+    assert sequence.verify()
+    bound = polymatroid_bound(varset("XYZ"), stats)
+    # The flow's bound can never undercut the single-bag polymatroid bound of
+    # the *pair* (it equals the DDR bound, which is at most the single-target one).
+    assert float(flow.bound_exponent()) <= bound.exponent + 1e-6

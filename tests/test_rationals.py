@@ -1,0 +1,49 @@
+"""Unit tests for the rationalisation helpers."""
+
+from fractions import Fraction
+
+from repro.utils.rationals import (
+    as_fraction,
+    common_denominator,
+    is_close_to_fraction,
+    rationalize,
+    scale_to_integers,
+    sequence_as_fractions,
+)
+
+
+def test_as_fraction_snaps_noise_to_zero():
+    assert as_fraction(1e-12) == 0
+
+
+def test_as_fraction_recovers_simple_fractions():
+    assert as_fraction(0.5) == Fraction(1, 2)
+    assert as_fraction(0.3333333333) == Fraction(1, 3)
+    assert as_fraction(2) == Fraction(2)
+    assert as_fraction(Fraction(7, 3)) == Fraction(7, 3)
+
+
+def test_rationalize_drops_zeros():
+    result = rationalize({"a": 0.25, "b": 1e-11})
+    assert result == {"a": Fraction(1, 4)}
+
+
+def test_common_denominator():
+    assert common_denominator([Fraction(1, 2), Fraction(1, 3)]) == 6
+    assert common_denominator([]) == 1
+    assert common_denominator([Fraction(2)]) == 1
+
+
+def test_scale_to_integers():
+    scaled, lcm = scale_to_integers({"x": Fraction(1, 2), "y": Fraction(2, 3)})
+    assert lcm == 6
+    assert scaled == {"x": 3, "y": 4}
+
+
+def test_is_close_to_fraction():
+    assert is_close_to_fraction(0.5000000001, Fraction(1, 2))
+    assert not is_close_to_fraction(0.51, Fraction(1, 2))
+
+
+def test_sequence_as_fractions_keeps_positions():
+    assert sequence_as_fractions([0.5, 0.0, 1.5]) == [Fraction(1, 2), Fraction(0), Fraction(3, 2)]

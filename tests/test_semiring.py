@@ -1,0 +1,66 @@
+"""Unit tests for semirings and annotated relations (Section 9.1)."""
+
+import pytest
+
+from repro.relational import (
+    BOOLEAN_SEMIRING,
+    COUNTING_SEMIRING,
+    MAX_MIN_SEMIRING,
+    MIN_PLUS_SEMIRING,
+    AnnotatedRelation,
+    Relation,
+)
+
+
+def test_semiring_idempotence_flags():
+    assert BOOLEAN_SEMIRING.idempotent_add
+    assert MIN_PLUS_SEMIRING.idempotent_add
+    assert MAX_MIN_SEMIRING.idempotent_add
+    assert not COUNTING_SEMIRING.idempotent_add
+
+
+def test_semiring_sum_and_product():
+    assert COUNTING_SEMIRING.sum([1, 2, 3]) == 6
+    assert COUNTING_SEMIRING.product([2, 3, 4]) == 24
+    assert MIN_PLUS_SEMIRING.sum([3.0, 1.0, 2.0]) == 1.0
+    assert MIN_PLUS_SEMIRING.product([3.0, 1.0]) == 4.0
+    assert BOOLEAN_SEMIRING.sum([]) is False
+    assert BOOLEAN_SEMIRING.product([]) is True
+
+
+def test_annotated_relation_from_relation_defaults_to_one():
+    base = Relation("R", ("x", "y"), [(1, "a"), (2, "b")])
+    annotated = AnnotatedRelation.from_relation(base, COUNTING_SEMIRING)
+    assert len(annotated) == 2
+    assert annotated.annotation((1, "a")) == 1
+    assert annotated.annotation((9, "z")) == 0
+    assert annotated.support().rows == base.rows
+
+
+def test_zero_annotations_are_dropped():
+    annotated = AnnotatedRelation("R", ("x",), {(1,): 0, (2,): 5}, COUNTING_SEMIRING)
+    assert len(annotated) == 1
+
+
+def test_join_multiplies_annotations():
+    r = AnnotatedRelation("R", ("x", "y"), {(1, "a"): 2, (2, "b"): 3}, COUNTING_SEMIRING)
+    s = AnnotatedRelation("S", ("y", "z"), {("a", 10): 5, ("b", 20): 7}, COUNTING_SEMIRING)
+    joined = r.join(s)
+    assert joined.annotation((1, "a", 10)) == 10
+    assert joined.annotation((2, "b", 20)) == 21
+
+
+def test_marginalize_adds_annotations():
+    r = AnnotatedRelation("R", ("x", "y"), {(1, "a"): 2, (1, "b"): 3, (2, "a"): 4},
+                          COUNTING_SEMIRING)
+    marginal = r.marginalize(["x"])
+    assert marginal.annotation((1,)) == 5
+    assert marginal.annotation((2,)) == 4
+    assert r.total() == 9
+
+
+def test_min_plus_join_finds_shortest_combination():
+    r = AnnotatedRelation("R", ("x", "y"), {(1, "a"): 1.0, (1, "b"): 5.0}, MIN_PLUS_SEMIRING)
+    s = AnnotatedRelation("S", ("y", "z"), {("a", 9): 2.0, ("b", 9): 1.0}, MIN_PLUS_SEMIRING)
+    best = r.join(s).marginalize(["x", "z"])
+    assert best.annotation((1, 9)) == pytest.approx(3.0)

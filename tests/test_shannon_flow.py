@@ -1,0 +1,111 @@
+"""Tests for Shannon-flow inequalities and their exact certificates (E4, Lemma 6.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bounds import ddr_polymatroid_bound, polymatroid_bound
+from repro.flows import ShannonFlowError, find_shannon_flow, shannon_flow_for_cq
+from repro.paperdata import four_cycle_cardinality_statistics, four_cycle_full_statistics
+from repro.query import four_cycle_full, triangle_query
+from repro.stats import ConstraintSet, statistics_for_query
+from repro.utils.varsets import varset
+
+
+def test_four_cycle_ddr_flow_matches_equation_55(s_box):
+    """The optimal dual of the DDR (38): λ = (1/2, 1/2), w = (1/2, 1/2, 1/2, 0)."""
+    flow = find_shannon_flow([varset("XYZ"), varset("YZW")], s_box,
+                             variables=varset("XYZW"))
+    assert flow.verify()
+    assert flow.targets == {varset("XYZ"): Fraction(1, 2), varset("YZW"): Fraction(1, 2)}
+    weights = {(c.target, c.given): w for c, w in flow.sources.items()}
+    assert weights[(varset("XY"), frozenset())] == Fraction(1, 2)
+    assert weights[(varset("YZ"), frozenset())] == Fraction(1, 2)
+    assert weights[(varset("ZW"), frozenset())] == Fraction(1, 2)
+    # w4 (the weight of h(WX)) is zero, so the constraint does not appear.
+    assert (varset("WX"), frozenset()) not in weights
+    assert float(flow.bound_exponent()) == pytest.approx(1.5)
+    assert flow.size_bound() == pytest.approx(1000 ** 1.5, rel=1e-9)
+    assert "h{X,Y,Z}" in flow.describe() or "h{W,Y,Z}" in flow.describe()
+
+
+def test_flow_bound_matches_primal_ddr_bound_strong_duality(s_box):
+    """Lemma 6.1: the dual (flow) optimum equals the primal DDR bound."""
+    selectors = [
+        [varset("XYZ"), varset("YZW")],
+        [varset("XYZ"), varset("WXY")],
+        [varset("XZW"), varset("YZW")],
+        [varset("XZW"), varset("WXY")],
+    ]
+    for selector in selectors:
+        primal = ddr_polymatroid_bound(selector, s_box, variables=varset("XYZW"))
+        flow = find_shannon_flow(selector, s_box, variables=varset("XYZW"))
+        assert float(flow.bound_exponent()) == pytest.approx(primal.exponent, abs=1e-6)
+
+
+def test_cq_flow_reduces_to_shearer_for_cardinality_statistics():
+    """For a single-target flow with cardinality constraints, the bound is the AGM bound."""
+    stats = statistics_for_query(triangle_query(), 1000)
+    flow = shannon_flow_for_cq(varset("XYZ"), stats)
+    assert flow.verify()
+    assert float(flow.bound_exponent()) == pytest.approx(1.5)
+    # Shearer's lemma for the triangle: each edge gets weight 1/2.
+    assert all(weight == Fraction(1, 2) for weight in flow.sources.values())
+
+
+def test_flow_with_degree_constraints_matches_polymatroid_bound(s_box_full):
+    flow = shannon_flow_for_cq(varset("XYZW"), s_box_full)
+    primal = polymatroid_bound(four_cycle_full(), s_box_full)
+    assert float(flow.bound_exponent()) == pytest.approx(primal.exponent, abs=1e-6)
+    assert flow.verify()
+    # The FD and the degree constraint on U participate in the certificate.
+    used_conditionals = [c for c in flow.sources if c.given]
+    assert used_conditionals
+
+
+def test_flow_identity_defect_detects_corruption(s_box):
+    flow = find_shannon_flow([varset("XYZ"), varset("YZW")], s_box,
+                             variables=varset("XYZW"))
+    assert not flow.identity_defect()
+    flow.targets[varset("XYZ")] += Fraction(1, 4)
+    assert flow.identity_defect()
+    assert not flow.verify()
+
+
+def test_integral_form_of_paper_inequality(s_box):
+    """Multiplying Eq. (55) by 2 gives Eq. (62): h(XYZ)+h(YZW) <= h(XY)+h(YZ)+h(ZW)."""
+    flow = find_shannon_flow([varset("XYZ"), varset("YZW")], s_box,
+                             variables=varset("XYZW"))
+    integral = flow.to_integral()
+    assert integral.denominator == 2
+    assert integral.verify()
+    assert integral.targets[varset("XYZ")] == 1
+    assert integral.targets[varset("YZW")] == 1
+    assert sum(integral.sources.values()) == 3
+    assert integral.bound_exponent() == pytest.approx(1.5)
+    assert integral.size_bound() == pytest.approx(1000 ** 1.5, rel=1e-9)
+    assert "h{" in integral.describe()
+
+
+def test_flow_requires_degree_constraints_only():
+    stats = ConstraintSet(base=100)
+    stats.add_cardinality("XY", 100, guard="R")
+    stats.add_lp_norm("Y", "X", 2, 30, guard="R")
+    with pytest.raises(ShannonFlowError):
+        find_shannon_flow([varset("XY")], stats)
+    empty = ConstraintSet(base=100)
+    with pytest.raises(ShannonFlowError):
+        find_shannon_flow([varset("XY")], empty)
+
+
+def test_flow_errors_on_missing_targets(s_box):
+    with pytest.raises(ValueError):
+        find_shannon_flow([], s_box)
+
+
+def test_flow_for_unbounded_target_raises_or_is_large():
+    """A target not covered by any constraint has an unbounded DDR bound."""
+    stats = ConstraintSet(base=100)
+    stats.add_cardinality("XY", 100, guard="R")
+    with pytest.raises(Exception):
+        find_shannon_flow([varset("XZ")], stats, variables=varset("XYZ"))

@@ -1,0 +1,120 @@
+"""Unit tests for degree constraints, ℓp-norm constraints and statistics collection."""
+
+import pytest
+
+from repro.paperdata import figure2_database
+from repro.query import four_cycle_full, four_cycle_projected
+from repro.stats import (
+    ConstraintSet,
+    DegreeConstraint,
+    LpNormConstraint,
+    collect_statistics,
+    identical_cardinalities,
+    log_with_base,
+    satisfies,
+    statistics_for_query,
+    validate,
+)
+from repro.utils.varsets import varset
+
+
+def test_degree_constraint_classification():
+    cardinality = DegreeConstraint(varset("XY"), frozenset(), 100, guard="R")
+    assert cardinality.is_cardinality
+    assert not cardinality.is_functional_dependency
+    fd = DegreeConstraint(varset("X"), varset("W"), 1, guard="U")
+    assert fd.is_functional_dependency
+    degree = DegreeConstraint(varset("W"), varset("X"), 8, guard="U")
+    assert not degree.is_cardinality and not degree.is_functional_dependency
+    assert degree.variables == varset("WX")
+
+
+def test_degree_constraint_validation_errors():
+    with pytest.raises(ValueError):
+        DegreeConstraint(varset("X"), varset("X"), 5)
+    with pytest.raises(ValueError):
+        DegreeConstraint(frozenset(), varset("X"), 5)
+    with pytest.raises(ValueError):
+        DegreeConstraint(varset("X"), frozenset(), -1)
+
+
+def test_lp_norm_constraint():
+    norm = LpNormConstraint(varset("Y"), varset("X"), 2.0, 50.0, guard="R")
+    assert norm.variables == varset("XY")
+    with pytest.raises(ValueError):
+        LpNormConstraint(varset("Y"), varset("X"), 0.5, 50.0)
+    inf_norm = LpNormConstraint(varset("Y"), varset("X"), float("inf"), 7.0, guard="R")
+    assert inf_norm.as_degree_constraint().bound == 7.0
+    with pytest.raises(ValueError):
+        norm.as_degree_constraint()
+
+
+def test_log_with_base_conventions():
+    assert log_with_base(1000, 1000) == pytest.approx(1.0)
+    assert log_with_base(1, 1000) == 0.0
+    assert log_with_base(0.5, 1000) == 0.0
+    with pytest.raises(ValueError):
+        log_with_base(10, 1.0)
+
+
+def test_constraint_set_building_and_scaling():
+    stats = ConstraintSet(base=100)
+    stats.add_cardinality("XY", 100, guard="R")
+    stats.add_degree("W", "X", 10, guard="U")
+    stats.add_functional_dependency("W", "X", guard="U")
+    stats.add_lp_norm("Y", "X", 2, 50, guard="R")
+    assert len(stats) == 4
+    assert len(stats.degree_constraints) == 3
+    assert len(stats.lp_norm_constraints) == 1
+    assert stats.variables == varset("XYW")
+    assert not stats.has_only_cardinalities()
+    assert stats.exponent_of(stats.cardinality_constraints()[0]) == pytest.approx(1.0)
+    assert stats.size_from_exponent(1.5) == pytest.approx(1000.0)
+    assert len(stats.constraints_guarded_by("U")) == 2
+    assert "Statistics over N" in str(stats)
+
+
+def test_identical_cardinalities_and_statistics_for_query():
+    stats = identical_cardinalities(["XY", "YZ"], 100)
+    assert stats.has_only_cardinalities()
+    assert all(c.bound == 100 for c in stats.degree_constraints)
+    query_stats = statistics_for_query(four_cycle_projected(), 100)
+    assert len(query_stats) == 4
+    assert {c.guard for c in query_stats.degree_constraints} == {"R", "S", "T", "U"}
+
+
+def test_collect_statistics_measures_figure2():
+    database = figure2_database()
+    query = four_cycle_full()
+    stats = collect_statistics(database, query, include_degrees=True, base=3)
+    # Cardinalities: one per atom, each of size 3.
+    cardinalities = stats.cardinality_constraints()
+    assert len(cardinalities) == 4
+    assert all(c.bound == 3 for c in cardinalities)
+    # The degree of X given W in U is 1 (U satisfies the FD W → X in Figure 2).
+    fd_candidates = [c for c in stats.degree_constraints
+                     if c.guard == "U" and c.target == varset("X") and c.given == varset("W")]
+    assert fd_candidates and fd_candidates[0].bound == 1
+
+
+def test_collect_statistics_with_l2_norms():
+    database = figure2_database()
+    query = four_cycle_full()
+    stats = collect_statistics(database, query, include_l2_norms=True)
+    assert stats.lp_norm_constraints
+    assert all(norm.order == 2.0 for norm in stats.lp_norm_constraints)
+
+
+def test_validate_and_satisfies():
+    database = figure2_database()
+    query = four_cycle_full()
+    good = collect_statistics(database, query)
+    assert satisfies(database, query, good)
+    bad = ConstraintSet(base=3)
+    bad.add_cardinality("XY", 2, guard="R")      # R actually has 3 tuples
+    violations = validate(database, query, bad)
+    assert violations and "violated" in violations[0]
+    # A guard-less constraint is checked against every atom that covers it.
+    unguarded = ConstraintSet(base=3)
+    unguarded.add_cardinality("XY", 3)
+    assert satisfies(database, query, unguarded)

@@ -1,0 +1,53 @@
+"""Unit tests for the variable-set helpers."""
+
+from repro.utils.varsets import (
+    format_varset,
+    powerset,
+    proper_nonempty_subsets,
+    union_all,
+    varset,
+)
+
+
+def test_varset_from_uppercase_string_splits_characters():
+    assert varset("XYZ") == frozenset({"X", "Y", "Z"})
+
+
+def test_varset_from_general_string_is_single_variable():
+    assert varset("X1") == frozenset({"X1"})
+    assert varset("x") == frozenset({"x"})
+
+
+def test_varset_from_iterable():
+    assert varset(["X1", "X2"]) == frozenset({"X1", "X2"})
+
+
+def test_varset_empty_string():
+    assert varset("") == frozenset()
+
+
+def test_format_varset_is_sorted_and_braced():
+    assert format_varset(frozenset({"Z", "X"})) == "{X,Z}"
+    assert format_varset(frozenset()) == "{}"
+
+
+def test_powerset_counts_and_order():
+    subsets = list(powerset(["A", "B", "C"]))
+    assert len(subsets) == 8
+    assert subsets[0] == frozenset()
+    assert subsets[-1] == frozenset({"A", "B", "C"})
+    sizes = [len(s) for s in subsets]
+    assert sizes == sorted(sizes)
+
+
+def test_powerset_deduplicates_input():
+    assert len(list(powerset(["A", "A", "B"]))) == 4
+
+
+def test_proper_nonempty_subsets():
+    subsets = set(proper_nonempty_subsets(["A", "B"]))
+    assert subsets == {frozenset({"A"}), frozenset({"B"})}
+
+
+def test_union_all():
+    assert union_all([{"A"}, {"B", "C"}, set()]) == frozenset({"A", "B", "C"})

@@ -1,0 +1,144 @@
+"""Tests for fhtw, subw and the ω-submodular width (experiments E2, E3, E8)."""
+
+import pytest
+
+from repro.decompositions import enumerate_tree_decompositions
+from repro.paperdata import four_cycle_cardinality_statistics
+from repro.query import (
+    four_cycle_boolean,
+    four_cycle_full,
+    four_cycle_projected,
+    path_query,
+    triangle_query,
+)
+from repro.stats import statistics_for_query
+from repro.utils.varsets import varset
+from repro.widths import (
+    crossover_omega,
+    decomposition_cost,
+    fmm_beats_combinatorial_four_cycle,
+    four_cycle_width_report,
+    fractional_hypertree_width,
+    gamma,
+    mm_exponent,
+    mm_exponent_from_dimensions,
+    omega_submodular_width_four_cycle,
+    submodular_width,
+    width_gap,
+)
+from repro.entropy import modular_function
+
+
+# ---------------------------------------------------------------------------
+# fractional hypertree width (E2)
+# ---------------------------------------------------------------------------
+
+def test_fhtw_four_cycle_is_two(four_cycle, s_box):
+    """Section 4.3: fhtw(Q□, S□) = 2, and both TDs cost exactly 2."""
+    result = fractional_hypertree_width(four_cycle, s_box)
+    assert result.width == pytest.approx(2.0, abs=1e-6)
+    for cost in result.all_costs:
+        assert cost.cost == pytest.approx(2.0, abs=1e-6)
+        assert all(value == pytest.approx(2.0, abs=1e-6)
+                   for value in cost.bag_exponents.values())
+    assert result.size_bound(s_box) == pytest.approx(1000 ** 2, rel=1e-6)
+    assert "fhtw" in result.describe()
+
+
+def test_fhtw_triangle_is_three_halves(triangle, triangle_stats):
+    result = fractional_hypertree_width(triangle, triangle_stats)
+    assert result.width == pytest.approx(1.5, abs=1e-6)
+
+
+def test_fhtw_acyclic_path_is_one():
+    query = path_query(3)
+    stats = statistics_for_query(query, 1000)
+    result = fractional_hypertree_width(query, stats)
+    assert result.width == pytest.approx(1.0, abs=1e-6)
+
+
+def test_decomposition_cost_reports_worst_bag(four_cycle, s_box):
+    decomposition = enumerate_tree_decompositions(four_cycle)[0]
+    cost = decomposition_cost(decomposition, s_box, query=four_cycle)
+    assert cost.worst_bag in decomposition.bags
+    assert "cost" in cost.describe()
+
+
+# ---------------------------------------------------------------------------
+# submodular width (E3)
+# ---------------------------------------------------------------------------
+
+def test_subw_four_cycle_is_three_halves(four_cycle, s_box):
+    """Eq. (44)–(45): subw(Q□, S□) = 3/2, via four bag-selector LPs all equal to 3/2."""
+    result = submodular_width(four_cycle, s_box)
+    assert result.width == pytest.approx(1.5, abs=1e-6)
+    assert len(result.selector_bounds) == 4
+    for entry in result.selector_bounds:
+        assert entry.bound.exponent == pytest.approx(1.5, abs=1e-6)
+    assert result.size_bound(s_box) == pytest.approx(1000 ** 1.5, rel=1e-6)
+    assert result.witness.bound.exponent == pytest.approx(1.5, abs=1e-6)
+
+
+def test_subw_boolean_four_cycle_matches_projected(s_box):
+    boolean = submodular_width(four_cycle_boolean(), s_box)
+    projected = submodular_width(four_cycle_projected(), s_box)
+    assert boolean.width == pytest.approx(projected.width, abs=1e-6)
+
+
+def test_subw_never_exceeds_fhtw():
+    cases = [
+        (four_cycle_projected(), four_cycle_cardinality_statistics(1000)),
+        (triangle_query(), statistics_for_query(triangle_query(), 1000)),
+        (path_query(3), statistics_for_query(path_query(3), 1000)),
+        (four_cycle_full(), four_cycle_cardinality_statistics(1000)),
+    ]
+    for query, stats in cases:
+        sub, frac = width_gap(query, stats)
+        assert sub <= frac + 1e-6
+
+
+def test_subw_equals_fhtw_for_triangle(triangle, triangle_stats):
+    sub, frac = width_gap(triangle, triangle_stats)
+    assert sub == pytest.approx(frac, abs=1e-6)
+    assert sub == pytest.approx(1.5, abs=1e-6)
+
+
+def test_subw_gap_appears_only_for_the_cyclic_projected_query(four_cycle, s_box):
+    sub, frac = width_gap(four_cycle, s_box)
+    assert frac - sub == pytest.approx(0.5, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# ω-submodular width (E8)
+# ---------------------------------------------------------------------------
+
+def test_omega_subw_four_cycle_closed_form():
+    assert omega_submodular_width_four_cycle(2.0) == pytest.approx(7 / 5)
+    assert omega_submodular_width_four_cycle(3.0) == pytest.approx(11 / 7)
+    assert omega_submodular_width_four_cycle(2.371552) == pytest.approx(1.47764, abs=1e-4)
+    with pytest.raises(ValueError):
+        omega_submodular_width_four_cycle(1.5)
+
+
+def test_omega_crossover_at_five_halves():
+    assert omega_submodular_width_four_cycle(crossover_omega()) == pytest.approx(1.5)
+    assert fmm_beats_combinatorial_four_cycle(2.371552)
+    assert not fmm_beats_combinatorial_four_cycle(2.6)
+
+
+def test_four_cycle_width_report():
+    report = four_cycle_width_report()
+    assert report.submodular_width == pytest.approx(1.5)
+    assert report.omega_submodular_width < 1.5
+    assert report.speedup_exponent > 0
+    assert "ω" in report.describe() or "subw" in report.describe()
+
+
+def test_mm_exponent_matches_eq_78():
+    h = modular_function({"X": 1.0, "Y": 1.0, "Z": 1.0})
+    omega = 2.371552
+    value = mm_exponent(h, "X", "Y", "Z", omega=omega)
+    assert value == pytest.approx(2.0 + gamma(omega))
+    assert mm_exponent_from_dimensions(1.0, 0.5, 1.0, omega=omega) == pytest.approx(
+        max(1.0 + 0.5 + gamma(omega), 1.0 + 0.5 * gamma(omega) + 1.0,
+            gamma(omega) + 0.5 + 1.0))
