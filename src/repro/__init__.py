@@ -32,6 +32,22 @@ Quickstart::
     print(chosen.explain())
     result = chosen.execute(hard_four_cycle_instance(200))
     print(len(result.answer), "answers")
+
+Storage backend selection — relations live on a pluggable storage engine
+(:mod:`repro.relational.storage`).  ``"set"`` is the always-recompute
+semantics reference; ``"columnar"`` caches hash indexes, key sets, degree
+structures and prefix tries across evaluations (the right choice when the
+same queries run repeatedly against the same database)::
+
+    from repro import Database, Relation, set_default_backend, using_backend
+
+    edges = Relation("E", ("src", "dst"), [(1, 2), (2, 3)], backend="columnar")
+    database = Database([edges], backend="columnar")   # pins every relation
+    database.cache_stats()                             # index build/hit counters
+
+    set_default_backend("columnar")                    # process-wide default
+    with using_backend("columnar"):                    # or scoped
+        fresh = Relation("F", ("a", "b"), [(1, 1)])
 """
 
 from repro.query import (
@@ -44,7 +60,16 @@ from repro.query import (
     parse_query,
     triangle_query,
 )
-from repro.relational import Database, Relation
+from repro.relational import (
+    ColumnarBackend,
+    Database,
+    Relation,
+    SetBackend,
+    StorageBackend,
+    get_default_backend,
+    set_default_backend,
+    using_backend,
+)
 from repro.stats import ConstraintSet, DegreeConstraint, LpNormConstraint, collect_statistics
 from repro.bounds import agm_bound, ddr_polymatroid_bound, polymatroid_bound
 from repro.widths import (
@@ -75,6 +100,12 @@ __all__ = [
     "four_cycle_boolean",
     "Relation",
     "Database",
+    "StorageBackend",
+    "SetBackend",
+    "ColumnarBackend",
+    "get_default_backend",
+    "set_default_backend",
+    "using_backend",
     "ConstraintSet",
     "DegreeConstraint",
     "LpNormConstraint",

@@ -40,15 +40,15 @@ def evaluate_binary_plan(query: ConjunctiveQuery, database: Database,
     ``atom_order`` gives the join order as atom indices; the default is the
     greedy "smallest relation first, prefer connected atoms" heuristic.
     """
+    relations = database.bind_query(query)
     if atom_order is None:
-        atom_order = greedy_atom_order(query, database)
+        atom_order = greedy_atom_order(query, database, relations=relations)
     else:
         atom_order = tuple(atom_order)
         if sorted(atom_order) != list(range(len(query.atoms))):
             raise ValueError("atom_order must be a permutation of the atom indices")
     report = BinaryPlanReport(atom_order=tuple(atom_order))
     work = counter if counter is not None else report.counter
-    relations = [database.bind_atom(atom) for atom in query.atoms]
     result = relations[atom_order[0]]
     for index in atom_order[1:]:
         result = result.hash_join(relations[index])
@@ -63,10 +63,16 @@ def evaluate_binary_plan(query: ConjunctiveQuery, database: Database,
     return answer, report
 
 
-def greedy_atom_order(query: ConjunctiveQuery, database: Database) -> tuple[int, ...]:
-    """Smallest-relation-first order that keeps the join connected when possible."""
-    sizes = {index: len(database.bind_atom(atom))
-             for index, atom in enumerate(query.atoms)}
+def greedy_atom_order(query: ConjunctiveQuery, database: Database,
+                      relations: Sequence[Relation] | None = None) -> tuple[int, ...]:
+    """Smallest-relation-first order that keeps the join connected when possible.
+
+    ``relations`` lets callers that already bound the query's atoms (one
+    shared, cached binding per atom) pass them in instead of rebinding.
+    """
+    if relations is None:
+        relations = database.bind_query(query)
+    sizes = {index: len(relation) for index, relation in enumerate(relations)}
     remaining = set(range(len(query.atoms)))
     order: list[int] = []
     covered: set[str] = set()

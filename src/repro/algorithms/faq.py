@@ -53,8 +53,7 @@ def evaluate_faq(query: ConjunctiveQuery, database: Database, semiring: Semiring
         defaults to a greedy min-degree-style order.
     """
     factors: list[AnnotatedRelation] = []
-    for atom in query.atoms:
-        relation = database.bind_atom(atom)
+    for atom, relation in zip(query.atoms, database.bind_query(query)):
         if weight is None:
             factors.append(AnnotatedRelation.from_relation(relation, semiring))
         else:

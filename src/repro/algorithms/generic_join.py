@@ -9,12 +9,20 @@ experiment E9 measures.
 
 This implementation indexes each relation by every prefix of the global
 variable order restricted to the relation's variables, so candidate lookups
-are hash probes rather than scans.
+are hash probes rather than scans.  The prefix tries live on the relations'
+storage backends (:meth:`Relation.prefix_trie`): under the columnar backend
+they are memoized, so re-evaluating a query against the same database skips
+the index-building phase entirely.
+
+The enumeration itself runs off a precomputed per-level probe plan.  Because
+each relation's variables are kept sorted by the global order, the set of
+relations constraining a level — and the trie depth and prefix positions each
+one is probed at — depends only on the level, never on the values bound so
+far, so all of it is resolved once before the recursion starts.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Sequence
 
 from repro.query.cq import ConjunctiveQuery
@@ -24,46 +32,38 @@ from repro.relational.relation import Relation
 
 
 class _IndexedRelation:
-    """One relation indexed for a fixed global variable order."""
+    """One relation's trie view for a fixed global variable order."""
 
     def __init__(self, relation: Relation, order: Sequence[str]) -> None:
         self.variables = [v for v in order if v in relation.column_set]
-        positions = [relation.column_index(v) for v in self.variables]
-        self.rows = [tuple(row[p] for p in positions) for row in relation]
+        positions = tuple(relation.column_index(v) for v in self.variables)
         # index[k] maps a length-k prefix of this relation's variables to the
-        # set of values of variable k+1 compatible with it.
-        self.index: list[dict[tuple, set]] = []
-        for depth in range(len(self.variables)):
-            level: dict[tuple, set] = defaultdict(set)
-            for row in self.rows:
-                level[row[:depth]].add(row[depth])
-            self.index.append(dict(level))
+        # set of values of variable k+1 compatible with it.  Served (and, for
+        # caching backends, memoized) by the relation's storage backend.
+        self.index: list[dict[tuple, set]] = relation.prefix_trie(positions)
 
-    def candidate_values(self, assignment: dict[str, object]) -> set | None:
-        """Values allowed for this relation's first unassigned variable.
 
-        Returns ``None`` when every variable of the relation is already
-        assigned (in which case :meth:`consistent` should be used instead).
-        """
-        depth = 0
-        prefix = []
-        for variable in self.variables:
-            if variable in assignment:
-                prefix.append(assignment[variable])
-                depth += 1
-            else:
-                break
-        if depth == len(self.variables):
-            return None
-        return self.index[depth].get(tuple(prefix), set())
+def _probe_plans(indexed: Sequence[_IndexedRelation],
+                 order: Sequence[str]) -> list[list[tuple[list[dict], int, tuple[int, ...]]]]:
+    """Per level: ``(trie, depth, prefix levels)`` for every constraining relation.
 
-    def constrains(self, variable: str, assignment: dict[str, object]) -> bool:
-        """True when ``variable`` is this relation's next unassigned variable."""
-        for own in self.variables:
-            if own in assignment:
+    At level ``L`` exactly the variables ``order[:L]`` are bound, so a
+    relation constrains ``order[L]`` iff it contains that variable; the probe
+    then happens at depth ``d`` = the variable's rank within the relation,
+    with a prefix read from the levels its first ``d`` variables live at.
+    """
+    order_index = {variable: level for level, variable in enumerate(order)}
+    plans: list[list[tuple[list[dict], int, tuple[int, ...]]]] = []
+    for variable in order:
+        entries = []
+        for rel in indexed:
+            if variable not in rel.variables:
                 continue
-            return own == variable
-        return False
+            depth = rel.variables.index(variable)
+            prefix_levels = tuple(order_index[v] for v in rel.variables[:depth])
+            entries.append((rel.index, depth, prefix_levels))
+        plans.append(entries)
+    return plans
 
 
 def generic_join(query: ConjunctiveQuery, database: Database,
@@ -78,41 +78,43 @@ def generic_join(query: ConjunctiveQuery, database: Database,
     order = list(variable_order) if variable_order else sorted(query.variables)
     if set(order) != set(query.variables):
         raise ValueError("variable_order must mention every query variable exactly once")
-    indexed = [_IndexedRelation(database.bind_atom(atom), order)
-               for atom in query.atoms]
+    bound = database.bind_query(query)
+    indexed = [_IndexedRelation(relation, order) for relation in bound]
+    plans = _probe_plans(indexed, order)
     free = sorted(query.free_variables)
+    order_index = {variable: level for level, variable in enumerate(order)}
+    free_levels = tuple(order_index[v] for v in free)
+    depth_total = len(order)
     output_rows: set[tuple] = set()
-    assignment: dict[str, object] = {}
+    values: list = [None] * depth_total
     explored = 0
 
     def recurse(level: int) -> None:
         nonlocal explored
-        if level == len(order):
-            output_rows.add(tuple(assignment[v] for v in free))
+        if level == depth_total:
+            output_rows.add(tuple(values[i] for i in free_levels))
             return
-        variable = order[level]
-        relevant = [rel for rel in indexed if rel.constrains(variable, assignment)]
-        if not relevant:
-            # The variable occurs only in relations whose other variables are
-            # not yet bound; fall back to any relation containing it.
-            relevant = [rel for rel in indexed if variable in rel.variables]
         candidate_sets = []
-        for rel in relevant:
-            values = rel.candidate_values(assignment)
-            if values is not None:
-                candidate_sets.append(values)
+        for trie, depth, prefix_levels in plans[level]:
+            found = trie[depth].get(tuple(values[i] for i in prefix_levels))
+            if not found:
+                return
+            candidate_sets.append(found)
         if not candidate_sets:
             return
-        candidates = set.intersection(*map(set, candidate_sets)) \
-            if len(candidate_sets) > 1 else set(candidate_sets[0])
+        if len(candidate_sets) == 1:
+            candidates = candidate_sets[0]
+        else:
+            candidate_sets.sort(key=len)
+            candidates = set.intersection(*candidate_sets)
         for value in candidates:
-            assignment[variable] = value
+            values[level] = value
             explored += 1
             recurse(level + 1)
-            del assignment[variable]
 
     recurse(0)
-    result = Relation(query.name, tuple(free), output_rows)
+    backend_kind = bound[0].backend_kind if bound else None
+    result = Relation(query.name, tuple(free), output_rows, backend=backend_kind)
     if counter is not None:
         counter.intermediate_tuples += explored
         counter.max_intermediate = max(counter.max_intermediate, len(result))

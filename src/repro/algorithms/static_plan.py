@@ -52,8 +52,12 @@ def compute_bag_relation(query: ConjunctiveQuery, database: Database,
     projections is the standard fractional-hypertree-width algorithm; it
     yields a superset of ``π_B`` of the full join, which the subsequent
     Yannakakis phase filters to the exact answer.)
+
+    The projections are registered in the synthetic database as-is (their
+    backends are the memoized projection backends of the bound atoms), so the
+    prefix tries the generic join builds over them survive across bags and
+    across repeated evaluations of the same plan.
     """
-    projected: list[Relation] = []
     synthetic_atoms: list[Atom] = []
     synthetic_db = Database()
     for index, atom in enumerate(query.atoms):
@@ -62,9 +66,8 @@ def compute_bag_relation(query: ConjunctiveQuery, database: Database,
             continue
         relation = database.bind_atom(atom).project(sorted(overlap))
         name = f"proj_{index}"
-        synthetic_db.add(Relation(name, relation.columns, relation.rows))
+        synthetic_db.add(relation, name=name)
         synthetic_atoms.append(Atom(name, relation.columns))
-        projected.append(relation)
     if not synthetic_atoms:
         raise ValueError(f"bag {format_varset(bag)} shares no variables with the query")
     bag_query = ConjunctiveQuery(synthetic_atoms, free_variables=bag,

@@ -100,8 +100,14 @@ def evaluate_yannakakis(query: ConjunctiveQuery, database: Database,
 
 def _full_reducer(relations: list[Relation], tree: JoinTree,
                   counter: WorkCounter | None) -> list[Relation]:
-    """Upward then downward semijoin passes along the join tree."""
-    current = [relation.copy() for relation in relations]
+    """Upward then downward semijoin passes along the join tree.
+
+    Semijoins never mutate their inputs, so the working list simply aliases
+    the input relations; entries are replaced as they shrink.  Filters that
+    remove nothing return backend-sharing copies, which keeps the input
+    relations' cached key sets and hash indexes warm across repeated runs.
+    """
+    current = list(relations)
     order = tree.bottom_up_order()
     # Upward pass: children filter parents.
     for index in order:

@@ -25,20 +25,26 @@ from repro.relational.relation import Relation
 
 def random_binary_relation(name: str, size: int, domain: int,
                            seed: int | None = None,
-                           columns: tuple[str, str] = ("a", "b")) -> Relation:
-    """A uniform random binary relation with ``size`` distinct tuples."""
+                           columns: tuple[str, str] = ("a", "b"),
+                           backend: str | None = None) -> Relation:
+    """A uniform random binary relation with ``size`` distinct tuples.
+
+    ``backend`` picks the storage engine; rows are handed to the relation in
+    one deduplicated batch, which is the bulk-construction fast path.
+    """
     rng = random.Random(seed)
     if domain * domain < size:
         raise ValueError("the domain is too small to hold that many distinct tuples")
     rows: set[tuple] = set()
     while len(rows) < size:
         rows.add((rng.randrange(domain), rng.randrange(domain)))
-    return Relation(name, columns, rows)
+    return Relation(name, columns, rows, backend=backend)
 
 
 def skewed_binary_relation(name: str, size: int, domain: int, skew: float = 1.2,
                            seed: int | None = None,
-                           columns: tuple[str, str] = ("a", "b")) -> Relation:
+                           columns: tuple[str, str] = ("a", "b"),
+                           backend: str | None = None) -> Relation:
     """A binary relation whose first column follows a Zipf-like distribution."""
     rng = random.Random(seed)
     weights = [1.0 / ((rank + 1) ** skew) for rank in range(domain)]
@@ -51,11 +57,12 @@ def skewed_binary_relation(name: str, size: int, domain: int, skew: float = 1.2,
         first = rng.choices(range(domain), weights=weights, k=1)[0]
         second = rng.randrange(domain)
         rows.add((first, second))
-    return Relation(name, columns, rows)
+    return Relation(name, columns, rows, backend=backend)
 
 
 def hard_four_cycle_instance(size: int,
-                             relation_names: Sequence[str] = ("R", "S", "T", "U")) -> Database:
+                             relation_names: Sequence[str] = ("R", "S", "T", "U"),
+                             backend: str | None = None) -> Database:
     """The Section-5.1 instance ``([N/2] × {1}) ∪ ({1} × [N/2])`` for each relation.
 
     Every relation has exactly ``size`` tuples (``size`` must be even): half of
@@ -69,15 +76,16 @@ def hard_four_cycle_instance(size: int,
     half = size // 2
     rows = {(value, 1) for value in range(2, half + 2)}
     rows |= {(1, value) for value in range(2, half + 2)}
-    database = Database()
+    database = Database(backend=backend)
     for name in relation_names:
-        database.add(Relation(name, ("a", "b"), rows))
+        database.add(Relation(name, ("a", "b"), rows, backend=backend))
     return database
 
 
 def random_graph_database(query: ConjunctiveQuery, size: int, domain: int,
                           seed: int | None = None,
-                          skew: float | None = None) -> Database:
+                          skew: float | None = None,
+                          backend: str | None = None) -> Database:
     """One random relation per *relation symbol* of ``query``.
 
     Binary atoms get binary relations; higher-arity atoms get uniform random
@@ -85,7 +93,7 @@ def random_graph_database(query: ConjunctiveQuery, size: int, domain: int,
     every atom with the same symbol, as the semantics requires.
     """
     rng = random.Random(seed)
-    database = Database()
+    database = Database(backend=backend)
     for symbol in dict.fromkeys(query.relation_names):
         arity = len(next(a for a in query.atoms if a.relation == symbol).variables)
         columns = tuple(f"c{i + 1}" for i in range(arity))
@@ -93,35 +101,37 @@ def random_graph_database(query: ConjunctiveQuery, size: int, domain: int,
             if skew:
                 relation = skewed_binary_relation(symbol, size, domain, skew=skew,
                                                   seed=rng.randrange(1 << 30),
-                                                  columns=columns)
+                                                  columns=columns, backend=backend)
             else:
                 relation = random_binary_relation(symbol, size, domain,
                                                   seed=rng.randrange(1 << 30),
-                                                  columns=columns)
+                                                  columns=columns, backend=backend)
         else:
             rows: set[tuple] = set()
             attempts = 0
             while len(rows) < size and attempts < 50 * size:
                 attempts += 1
                 rows.add(tuple(rng.randrange(domain) for _ in range(arity)))
-            relation = Relation(symbol, columns, rows)
+            relation = Relation(symbol, columns, rows, backend=backend)
         database.add(relation)
     return database
 
 
 def erdos_renyi_edges(name: str, vertices: int, probability: float,
                       seed: int | None = None,
-                      columns: tuple[str, str] = ("a", "b")) -> Relation:
+                      columns: tuple[str, str] = ("a", "b"),
+                      backend: str | None = None) -> Relation:
     """A directed Erdős–Rényi graph G(n, p) as an edge relation (no self-loops)."""
     rng = random.Random(seed)
     rows = [(u, v) for u in range(vertices) for v in range(vertices)
             if u != v and rng.random() < probability]
-    return Relation(name, columns, rows)
+    return Relation(name, columns, rows, backend=backend)
 
 
 def functional_relation(name: str, size: int, fan_in: int,
                         columns: tuple[str, str] = ("a", "b"),
-                        seed: int | None = None) -> Relation:
+                        seed: int | None = None,
+                        backend: str | None = None) -> Relation:
     """A relation satisfying the FD ``first → second`` with bounded reverse degree.
 
     Useful for exercising the paper's ``S□full`` statistics (Eq. (16)): the
@@ -134,4 +144,4 @@ def functional_relation(name: str, size: int, fan_in: int,
         group = key // max(fan_in, 1)
         rows.append((key, group))
     rng.shuffle(rows)
-    return Relation(name, columns, rows)
+    return Relation(name, columns, rows, backend=backend)

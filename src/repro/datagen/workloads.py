@@ -1,8 +1,8 @@
 """Named workloads used by the benchmark harness.
 
 Every benchmark in ``benchmarks/`` pulls its data through one of these
-factories so the parameters (sizes, domains, seeds) are recorded in one place
-and the runs are reproducible.
+factories so the parameters (sizes, domains, seeds, storage backend) are
+recorded in one place and the runs are reproducible.
 """
 
 from __future__ import annotations
@@ -36,51 +36,56 @@ class Workload:
         return self.database.max_relation_size()
 
 
-def four_cycle_hard_workload(size: int) -> Workload:
+def four_cycle_hard_workload(size: int, backend: str | None = None) -> Workload:
     """The adaptive-vs-static showdown of experiment E5."""
     return Workload(
         name=f"four-cycle-hard-N{size}",
         query=four_cycle_projected(),
-        database=hard_four_cycle_instance(size),
+        database=hard_four_cycle_instance(size, backend=backend),
         description=("4-cycle query on the Section-5.1 skewed instance; every "
                      "static plan is Ω(N²) while PANDA stays at O(N^{3/2})"),
     )
 
 
 def four_cycle_random_workload(size: int, domain: int | None = None,
-                               seed: int = 7) -> Workload:
+                               seed: int = 7,
+                               backend: str | None = None) -> Workload:
     """A uniform random 4-cycle workload (baseline comparisons)."""
     query = four_cycle_projected()
     domain = domain or max(4, int(size ** 0.75))
     return Workload(
         name=f"four-cycle-random-N{size}",
         query=query,
-        database=random_graph_database(query, size, domain, seed=seed),
+        database=random_graph_database(query, size, domain, seed=seed,
+                                       backend=backend),
         description="4-cycle query on uniform random binary relations",
     )
 
 
 def triangle_workload(size: int, domain: int | None = None, seed: int = 11,
-                      skew: float | None = None) -> Workload:
+                      skew: float | None = None,
+                      backend: str | None = None) -> Workload:
     """Triangle listing (experiment E9: AGM bound vs worst-case optimal join)."""
     query = triangle_query()
     domain = domain or max(4, int(size ** 0.6))
     return Workload(
         name=f"triangle-N{size}" + ("-skewed" if skew else ""),
         query=query,
-        database=random_graph_database(query, size, domain, seed=seed, skew=skew),
+        database=random_graph_database(query, size, domain, seed=seed, skew=skew,
+                                       backend=backend),
         description="triangle query on random binary relations",
     )
 
 
 def path_workload(length: int, size: int, domain: int | None = None,
-                  seed: int = 13) -> Workload:
+                  seed: int = 13, backend: str | None = None) -> Workload:
     """An acyclic chain query (experiment E6: Yannakakis linearity)."""
     query = path_query(length, free_variables=("X1", f"X{length + 1}"))
     domain = domain or max(4, size // 4)
     return Workload(
         name=f"path{length}-N{size}",
         query=query,
-        database=random_graph_database(query, size, domain, seed=seed),
+        database=random_graph_database(query, size, domain, seed=seed,
+                                       backend=backend),
         description=f"{length}-hop path query (free-connex acyclic)",
     )

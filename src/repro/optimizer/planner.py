@@ -110,9 +110,17 @@ def plan(query: ConjunctiveQuery, statistics: ConstraintSet,
 
 def plan_and_execute(query: ConjunctiveQuery, database: Database,
                      statistics: ConstraintSet,
-                     max_variables: int = 9) -> tuple[QueryPlan, ExecutionResult]:
-    """Convenience wrapper: plan, execute, and return both."""
+                     max_variables: int = 9,
+                     backend: str | None = None) -> tuple[QueryPlan, ExecutionResult]:
+    """Convenience wrapper: plan, execute, and return both.
+
+    ``backend`` optionally pins the execution to a storage engine (e.g.
+    ``"columnar"`` for cached indexes); the database is converted before the
+    plan runs.
+    """
     chosen = plan(query, statistics, max_variables=max_variables)
+    if backend is not None and database.backend_kind != backend:
+        database = database.with_backend(backend)
     return chosen, chosen.execute(database)
 
 

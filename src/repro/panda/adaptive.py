@@ -131,11 +131,12 @@ def _semijoin_reduce_bags(query: ConjunctiveQuery, database: Database,
     whose variables lie inside the bag restores the invariant
     ``Q_B ⊆ ⋈ of the atoms inside B`` that the final per-TD join relies on.
     """
+    bound = list(zip(query.atoms, database.bind_query(query)))
     for bag, relation in bag_relations.items():
         reduced = relation
-        for atom in query.atoms:
+        for atom, filter_relation in bound:
             if atom.varset <= bag:
-                reduced = reduced.semijoin(database.bind_atom(atom))
+                reduced = reduced.semijoin(filter_relation)
         bag_relations[bag] = reduced
         report.counter.record(reduced, note=f"semijoin-reduced bag {format_varset(bag)}")
 

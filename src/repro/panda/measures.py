@@ -111,17 +111,16 @@ class ConditionalMeasure:
         This is the initialisation of a degree-constraint source term: the
         measure is a genuine conditional probability per group and every
         weight is at least ``1/deg(Y|X) >= 1/N_{Y|X}``.
+
+        The grouping is served by the relation's cached group-by structure
+        (:meth:`Relation.grouped_values`) — the same index degree statistics
+        are measured from, so statistics collection warms the executor's path
+        and vice versa.
         """
         target_columns = sorted(target)
         given_columns = sorted(given)
         projected = relation.project(given_columns + target_columns)
-        given_idx = [projected.column_index(c) for c in given_columns]
-        target_idx = [projected.column_index(c) for c in target_columns]
-        raw_groups: dict[tuple, set[tuple]] = {}
-        for row in projected:
-            key = tuple(row[i] for i in given_idx)
-            value = tuple(row[i] for i in target_idx)
-            raw_groups.setdefault(key, set()).add(value)
+        raw_groups = projected.grouped_values(target_columns, given_columns)
         groups = {
             key: sorted(((value, 1.0 / len(values)) for value in values),
                         key=lambda entry: -entry[1])

@@ -1,5 +1,20 @@
-"""The in-memory relational engine substrate."""
+"""The in-memory relational engine substrate.
 
+Relations are facades over pluggable storage backends (``"set"`` is the
+semantics reference, ``"columnar"`` adds cached indexes); see
+:mod:`repro.relational.storage` for backend selection helpers.
+"""
+
+from repro.relational.storage import (
+    BACKENDS,
+    ColumnarBackend,
+    SetBackend,
+    StorageBackend,
+    get_default_backend,
+    register_backend,
+    set_default_backend,
+    using_backend,
+)
 from repro.relational.relation import Relation, relation_from_pairs
 from repro.relational.database import Database, database_from_edges
 from repro.relational.operators import (
@@ -20,6 +35,14 @@ from repro.relational.semiring import (
 )
 
 __all__ = [
+    "StorageBackend",
+    "SetBackend",
+    "ColumnarBackend",
+    "BACKENDS",
+    "register_backend",
+    "get_default_backend",
+    "set_default_backend",
+    "using_backend",
     "Relation",
     "relation_from_pairs",
     "Database",

@@ -4,6 +4,14 @@ A :class:`Database` maps relation symbols to :class:`~repro.relational.relation.
 instances.  When a query atom ``R(X, Y)`` is evaluated against relation ``R``,
 the relation's columns are positionally bound to the atom's variables, which
 is how the engine moves from "columns" to the paper's "variables".
+
+The database is also the engine-level cache boundary: atom bindings are
+memoized (a bound atom is a rename, which shares the stored relation's
+storage backend), so every consumer of the same atom — statistics collection,
+PANDA partitioning, the join algorithms — hits the same backend and therefore
+the same cached indexes.  Cache entries are validated by backend identity and
+drop out automatically when a relation is replaced or mutated (copy-on-write
+forks change the backend object).
 """
 
 from __future__ import annotations
@@ -15,10 +23,18 @@ from repro.relational.relation import Relation
 
 
 class Database:
-    """A database instance ``D``: a mapping from relation symbols to relations."""
+    """A database instance ``D``: a mapping from relation symbols to relations.
 
-    def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] = ()) -> None:
+    ``backend`` optionally pins every stored relation to one storage engine
+    kind (``"set"`` or ``"columnar"``): relations added under a different
+    backend are converted on registration.
+    """
+
+    def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] = (),
+                 backend: str | None = None) -> None:
         self._relations: dict[str, Relation] = {}
+        self._backend_kind = backend
+        self._bind_cache: dict[tuple, tuple[Relation, object]] = {}
         if isinstance(relations, Mapping):
             for name, relation in relations.items():
                 self.add(relation, name=name)
@@ -26,9 +42,26 @@ class Database:
             for relation in relations:
                 self.add(relation)
 
+    @property
+    def backend_kind(self) -> str | None:
+        """The storage engine every relation is pinned to (None = mixed)."""
+        return self._backend_kind
+
     def add(self, relation: Relation, name: str | None = None) -> None:
         """Register a relation under ``name`` (defaults to the relation's name)."""
-        self._relations[name or relation.name] = relation
+        if self._backend_kind is not None:
+            relation = relation.with_backend(self._backend_kind)
+        key = name or relation.name
+        self._relations[key] = relation
+        for cached_key in [k for k in self._bind_cache if k[0] == key]:
+            del self._bind_cache[cached_key]
+
+    def with_backend(self, backend: str) -> "Database":
+        """This database with every relation converted to ``backend``."""
+        converted = Database(backend=backend)
+        for name, relation in self._relations.items():
+            converted.add(relation, name=name)
+        return converted
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations
@@ -56,23 +89,44 @@ class Database:
             return 0
         return max(len(relation) for relation in self._relations.values())
 
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate index build/hit counters across the stored relations."""
+        totals: dict[str, int] = {}
+        for relation in self._relations.values():
+            for event, count in relation.storage_stats.items():
+                totals[event] = totals.get(event, 0) + count
+        return totals
+
     # -------------------------------------------------------------- bindings
     def bind_atom(self, atom: Atom) -> Relation:
         """The relation of ``atom`` with its columns renamed to the atom's variables.
 
         Binding is positional: the i-th column of the stored relation becomes
-        the i-th variable of the atom.  The resulting relation is then
-        projected onto the atom's variable set (duplicates collapse), which is
-        all the join algorithms need.
+        the i-th variable of the atom.  Bindings are memoized per
+        ``(relation, variables)`` pair; the bound facade shares the stored
+        relation's backend, so index caches are shared across every query
+        that binds the same atom.
         """
         relation = self[atom.relation]
+        cache_key = (atom.relation, tuple(atom.variables))
+        cached = self._bind_cache.get(cache_key)
+        if cached is not None:
+            bound, stored_backend = cached
+            if relation._backend is stored_backend:
+                # Hand out a fresh facade sharing the cached backend: callers
+                # get independent snapshot semantics (mutating one bound
+                # relation forks only that facade) while index caches stay
+                # shared.
+                return bound.copy(bound.name)
         if len(relation.columns) != len(atom.variables):
             raise ValueError(
                 f"atom {atom} has arity {len(atom.variables)} but relation "
                 f"{atom.relation!r} has arity {len(relation.columns)}"
             )
         mapping = dict(zip(relation.columns, atom.variables))
-        return relation.rename(mapping, name=str(atom))
+        bound = relation.rename(mapping, name=str(atom))
+        self._bind_cache[cache_key] = (bound, relation._backend)
+        return bound.copy(bound.name)
 
     def bind_query(self, query: ConjunctiveQuery) -> list[Relation]:
         """Bind every atom of ``query``, in atom order."""
@@ -81,10 +135,12 @@ class Database:
     def restrict_to_query(self, query: ConjunctiveQuery) -> "Database":
         """A database containing only the relations mentioned by ``query``."""
         names = set(query.relation_names)
-        return Database({name: self._relations[name] for name in names})
+        return Database({name: self._relations[name] for name in names},
+                        backend=self._backend_kind)
 
     def copy(self) -> "Database":
-        return Database({name: rel.copy() for name, rel in self._relations.items()})
+        return Database({name: rel.copy() for name, rel in self._relations.items()},
+                        backend=self._backend_kind)
 
     def summary(self) -> dict[str, int]:
         """Relation sizes, for display and logging."""
@@ -96,13 +152,15 @@ class Database:
 
 
 def database_from_edges(edge_lists: Mapping[str, Iterable[tuple]],
-                        columns: Mapping[str, tuple[str, ...]] | None = None) -> Database:
+                        columns: Mapping[str, tuple[str, ...]] | None = None,
+                        backend: str | None = None) -> Database:
     """Build a database of (mostly binary) relations from raw tuple lists.
 
     ``columns`` optionally overrides the column names per relation; by default
-    a relation with arity k gets columns ``("c1", ..., "ck")``.
+    a relation with arity k gets columns ``("c1", ..., "ck")``.  ``backend``
+    selects the storage engine for every relation.
     """
-    database = Database()
+    database = Database(backend=backend)
     for name, rows in edge_lists.items():
         rows = [tuple(row) for row in rows]
         if columns and name in columns:
@@ -110,5 +168,5 @@ def database_from_edges(edge_lists: Mapping[str, Iterable[tuple]],
         else:
             arity = len(rows[0]) if rows else 2
             cols = tuple(f"c{i + 1}" for i in range(arity))
-        database.add(Relation(name, cols, rows))
+        database.add(Relation(name, cols, rows, backend=backend))
     return database

@@ -8,6 +8,7 @@ intermediate tuples — the quantity the paper's cost model bounds.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -63,13 +64,20 @@ def join_all(relations: Sequence[Relation],
 
 
 def project(relation: Relation, columns: Iterable[str], name: str | None = None) -> Relation:
-    """Projection preserving the requested column order when possible."""
+    """Projection preserving the relation's column order.
+
+    Requesting a column the relation does not have is an immediate, clearly
+    attributed error (rather than a deferred ``KeyError`` from deep inside
+    :meth:`Relation.project`).
+    """
     columns = list(columns)
+    missing = [c for c in columns if c not in relation.column_set]
+    if missing:
+        raise KeyError(
+            f"cannot project relation {relation.name!r} onto {columns}: "
+            f"missing columns {missing} (available: {list(relation.columns)})"
+        )
     ordered = [c for c in relation.columns if c in set(columns)]
-    # Add any requested columns missing from the relation's order (error later).
-    for column in columns:
-        if column not in ordered:
-            ordered.append(column)
     return relation.project(ordered, name=name)
 
 
@@ -77,29 +85,40 @@ def semijoin_reduce(relations: Sequence[Relation],
                     counter: WorkCounter | None = None) -> list[Relation]:
     """Full semijoin reduction to (pairwise) consistency.
 
-    Repeatedly semijoins every relation with every other relation until no
+    Semijoins relations against their schema-overlapping neighbours until no
     relation shrinks.  For acyclic joins arranged along a join tree the
     classical Yannakakis algorithm needs only two passes; this generic version
     is used when no join tree is available (e.g. to clean up PANDA's bag
     relations) and always terminates because sizes only decrease.
+
+    Instead of re-scanning all pairs after every change (O(n²) per pass), a
+    worklist tracks which relations may still shrink: when relation ``j``
+    shrinks, only the neighbours of ``j`` — the relations ``j`` can filter —
+    are revisited.  The fixpoint (the unique maximal pairwise-consistent
+    sub-instance) is the same as the all-pairs version's.
     """
     current = [relation.copy() for relation in relations]
-    changed = True
-    while changed:
-        changed = False
-        for i, left in enumerate(current):
-            for j, right in enumerate(current):
-                if i == j:
-                    continue
-                if not (left.column_set & right.column_set):
-                    continue
-                reduced = left.semijoin(right)
-                if len(reduced) < len(left):
-                    current[i] = reduced
-                    left = reduced
-                    changed = True
-                    if counter is not None:
-                        counter.record(reduced, note=f"semijoin {reduced.name}")
+    neighbours: list[list[int]] = [
+        [j for j, other in enumerate(relations)
+         if j != i and (relations[i].column_set & other.column_set)]
+        for i in range(len(relations))
+    ]
+    pending = deque(range(len(current)))
+    queued = set(pending)
+    while pending:
+        i = pending.popleft()
+        queued.discard(i)
+        for j in neighbours[i]:
+            reduced = current[i].semijoin(current[j])
+            if len(reduced) < len(current[i]):
+                current[i] = reduced
+                if counter is not None:
+                    counter.record(reduced, note=f"semijoin {reduced.name}")
+                # i shrank, so every relation i can filter may shrink too.
+                for k in neighbours[i]:
+                    if k not in queued:
+                        pending.append(k)
+                        queued.add(k)
     return current
 
 

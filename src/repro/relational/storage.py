@@ -1,0 +1,510 @@
+"""Pluggable storage backends for relations.
+
+A :class:`~repro.relational.relation.Relation` is a thin facade over a
+:class:`StorageBackend`: the backend owns the physical tuple storage and every
+derived access structure the evaluation algorithms need — hash indexes keyed
+by a column subset, distinct-key sets for semijoins, group-by structures for
+degree statistics, prefix tries for worst-case-optimal joins and memoized
+distinct projections.
+
+Two implementations ship with the library:
+
+* :class:`SetBackend` — the original ``set[tuple]`` substrate, kept as the
+  semantics reference.  Every access structure is recomputed on demand, which
+  makes the backend trivially correct and a faithful model of the seed
+  implementation's per-call costs.
+* :class:`ColumnarBackend` — tuples stored once in insertion order with
+  lazily realised dictionary-encoded columns, plus caches for every access
+  structure, invalidated on mutation.  Repeated evaluation of the same query
+  against the same database reuses the cached indexes instead of rebuilding
+  them, which is where the speedups measured by
+  ``benchmarks/bench_storage_backends.py`` come from.
+
+Backends are shared *structurally* between facades: renaming or copying a
+relation reuses the same backend (so caches built while collecting statistics
+are also hit by the executor).  Mutation goes through copy-on-write — a facade
+that wants to ``add`` a row to a shared backend forks it first — so sharing is
+never observable through the ``Relation`` API.
+
+Every cache records build/hit counters in :attr:`StorageBackend.stats`, which
+the benchmarks use to make cached index reuse observable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+IndexKey = tuple[int, ...]
+
+
+class StorageBackend:
+    """Interface (and shared bookkeeping) for relation storage engines.
+
+    Rows are always duplicate-free tuples; index methods take *column
+    positions* (never names) so that a backend can be shared between facades
+    that rename columns.
+    """
+
+    kind: str = "abstract"
+    #: Whether access structures are memoized.  Operators use this to decide
+    #: if building an index just-in-time will pay off on later calls.
+    caches_indexes: bool = False
+
+    def __init__(self) -> None:
+        self.shared = False
+        self.stats: dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+    def share(self) -> "StorageBackend":
+        """Mark this backend as structurally shared and return it."""
+        self.shared = True
+        return self
+
+    def _count(self, event: str) -> None:
+        self.stats[event] = self.stats.get(event, 0) + 1
+
+    # -- core storage (must be implemented) -----------------------------------
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def iter_rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def row_set(self) -> frozenset[tuple]:
+        raise NotImplementedError
+
+    def contains(self, row: tuple) -> bool:
+        raise NotImplementedError
+
+    def add(self, row: tuple) -> None:
+        """Insert one row (idempotent) and invalidate every cache."""
+        raise NotImplementedError
+
+    def fork(self) -> "StorageBackend":
+        """An independent, unshared copy (for copy-on-write mutation)."""
+        raise NotImplementedError
+
+    def spawn(self, rows: Iterable[tuple], assume_unique: bool = False) -> "StorageBackend":
+        """A new backend of the same kind holding ``rows``.
+
+        ``assume_unique`` lets callers that construct provably duplicate-free
+        rows (semijoin outputs, join outputs over set-semantics inputs) skip
+        the deduplication pass.
+        """
+        return type(self)(rows, assume_unique=assume_unique)  # type: ignore[call-arg]
+
+    # -- access structures (may cache) -----------------------------------------
+    def hash_index(self, key_positions: IndexKey) -> Mapping[tuple, Sequence[tuple]]:
+        """``key tuple -> list of full rows`` for the given key positions."""
+        raise NotImplementedError
+
+    def has_cached_index(self, key_positions: IndexKey) -> bool:
+        """True when :meth:`hash_index` for these positions is already built."""
+        return False
+
+    def key_set(self, key_positions: IndexKey):
+        """The set of distinct key tuples at the given positions."""
+        raise NotImplementedError
+
+    def degree_index(self, given_positions: IndexKey,
+                     target_positions: IndexKey) -> Mapping[tuple, int]:
+        """``given tuple -> number of distinct target tuples`` (degree vector)."""
+        raise NotImplementedError
+
+    def group_index(self, given_positions: IndexKey,
+                    target_positions: IndexKey) -> Mapping[tuple, tuple[tuple, ...]]:
+        """``given tuple -> distinct target tuples`` (full group-by structure)."""
+        raise NotImplementedError
+
+    def trie(self, positions: IndexKey) -> list[dict[tuple, set]]:
+        """Prefix trie for worst-case-optimal joins.
+
+        ``trie(p)[d]`` maps a depth-``d`` prefix (values at ``positions[:d]``)
+        to the set of values observed at ``positions[d]`` under that prefix.
+        """
+        raise NotImplementedError
+
+    def project_backend(self, positions: IndexKey) -> "StorageBackend":
+        """A backend (same kind) holding the distinct projection onto ``positions``."""
+        raise NotImplementedError
+
+    # -- shared computation helpers -------------------------------------------
+    def _compute_hash_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        index: dict[tuple, list[tuple]] = {}
+        for row in self.iter_rows():
+            key = tuple(row[i] for i in key_positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+        return index
+
+    def _compute_key_set(self, key_positions: IndexKey) -> set[tuple]:
+        return {tuple(row[i] for i in key_positions) for row in self.iter_rows()}
+
+    def _compute_groups(self, given_positions: IndexKey,
+                        target_positions: IndexKey) -> dict[tuple, set[tuple]]:
+        groups: dict[tuple, set[tuple]] = {}
+        for row in self.iter_rows():
+            key = tuple(row[i] for i in given_positions)
+            value = tuple(row[i] for i in target_positions)
+            values = groups.get(key)
+            if values is None:
+                groups[key] = {value}
+            else:
+                values.add(value)
+        return groups
+
+    def _compute_trie(self, positions: IndexKey) -> list[dict[tuple, set]]:
+        reordered = [tuple(row[p] for p in positions) for row in self.iter_rows()]
+        levels: list[dict[tuple, set]] = []
+        for depth in range(len(positions)):
+            level: dict[tuple, set] = {}
+            for row in reordered:
+                prefix = row[:depth]
+                values = level.get(prefix)
+                if values is None:
+                    level[prefix] = {row[depth]}
+                else:
+                    values.add(row[depth])
+            levels.append(level)
+        return levels
+
+
+class SetBackend(StorageBackend):
+    """The reference backend: a plain ``set[tuple]``, no caching whatsoever.
+
+    Every access structure is computed from scratch on every request, exactly
+    like the seed implementation did inline in each operator.
+    """
+
+    kind = "set"
+
+    def __init__(self, rows: Iterable[tuple] = (), assume_unique: bool = False) -> None:
+        super().__init__()
+        self._rows: set[tuple] = set(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def row_set(self) -> frozenset[tuple]:
+        return frozenset(self._rows)
+
+    def contains(self, row: tuple) -> bool:
+        return row in self._rows
+
+    def add(self, row: tuple) -> None:
+        self._rows.add(row)
+
+    def fork(self) -> "SetBackend":
+        return SetBackend(self._rows)
+
+    def hash_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        self._count("hash_index_builds")
+        return self._compute_hash_index(key_positions)
+
+    def key_set(self, key_positions: IndexKey) -> set[tuple]:
+        self._count("key_set_builds")
+        return self._compute_key_set(key_positions)
+
+    def degree_index(self, given_positions: IndexKey,
+                     target_positions: IndexKey) -> dict[tuple, int]:
+        self._count("degree_index_builds")
+        groups = self._compute_groups(given_positions, target_positions)
+        return {key: len(values) for key, values in groups.items()}
+
+    def group_index(self, given_positions: IndexKey,
+                    target_positions: IndexKey) -> dict[tuple, tuple[tuple, ...]]:
+        self._count("group_index_builds")
+        groups = self._compute_groups(given_positions, target_positions)
+        return {key: tuple(values) for key, values in groups.items()}
+
+    def trie(self, positions: IndexKey) -> list[dict[tuple, set]]:
+        self._count("trie_builds")
+        return self._compute_trie(positions)
+
+    def project_backend(self, positions: IndexKey) -> "SetBackend":
+        self._count("project_builds")
+        return SetBackend(self._compute_key_set(positions), assume_unique=True)
+
+
+class ColumnDictionary:
+    """A lazily built dictionary encoding of one column.
+
+    ``codes[r]`` is the integer code of row ``r``'s value in this column and
+    ``decode[code]`` recovers the value.  Grouping and distinct-counting over
+    small integer codes is cheaper than over arbitrary values, and the
+    dictionary itself doubles as the column's distinct-value index.
+    """
+
+    __slots__ = ("codes", "decode")
+
+    def __init__(self, values: Iterable) -> None:
+        encode: dict = {}
+        codes: list[int] = []
+        decode: list = []
+        for value in values:
+            code = encode.get(value)
+            if code is None:
+                code = len(decode)
+                encode[value] = code
+                decode.append(value)
+            codes.append(code)
+        self.codes = codes
+        self.decode = decode
+
+
+class ColumnarBackend(StorageBackend):
+    """Columnar storage with cached, mutation-invalidated access structures.
+
+    Physically the rows live once, as a duplicate-free list in insertion
+    order; dictionary-encoded columns are realised lazily (per column, on
+    first use by a degree/group computation) so that short-lived intermediate
+    relations never pay the encoding cost.  All derived structures — hash
+    indexes, key sets, degree vectors, group-bys, prefix tries and distinct
+    projections — are memoized per column subset until the next mutation.
+    """
+
+    kind = "columnar"
+    caches_indexes = True
+
+    def __init__(self, rows: Iterable[tuple] = (), assume_unique: bool = False) -> None:
+        super().__init__()
+        if assume_unique:
+            self._rows: list[tuple] = list(rows)
+            self._rowset: set[tuple] | None = None
+        else:
+            seen: set[tuple] = set()
+            unique: list[tuple] = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            self._rows = unique
+            self._rowset = seen
+        self._frozen: frozenset[tuple] | None = None
+        self._dictionaries: dict[int, ColumnDictionary] = {}
+        self._hash_indexes: dict[IndexKey, dict[tuple, list[tuple]]] = {}
+        self._key_sets: dict[IndexKey, set[tuple]] = {}
+        self._degree_indexes: dict[tuple[IndexKey, IndexKey], dict[tuple, int]] = {}
+        self._group_indexes: dict[tuple[IndexKey, IndexKey],
+                                  dict[tuple, tuple[tuple, ...]]] = {}
+        self._tries: dict[IndexKey, list[dict[tuple, set]]] = {}
+        self._projections: dict[IndexKey, "ColumnarBackend"] = {}
+
+    # -- core storage ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def row_set(self) -> frozenset[tuple]:
+        if self._frozen is None:
+            self._frozen = frozenset(self._rows)
+        return self._frozen
+
+    def _ensure_rowset(self) -> set[tuple]:
+        if self._rowset is None:
+            self._rowset = set(self._rows)
+        return self._rowset
+
+    def contains(self, row: tuple) -> bool:
+        return row in self._ensure_rowset()
+
+    def add(self, row: tuple) -> None:
+        rowset = self._ensure_rowset()
+        if row in rowset:
+            return
+        rowset.add(row)
+        self._rows.append(row)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._frozen = None
+        self._dictionaries.clear()
+        self._hash_indexes.clear()
+        self._key_sets.clear()
+        self._degree_indexes.clear()
+        self._group_indexes.clear()
+        self._tries.clear()
+        self._projections.clear()
+
+    def fork(self) -> "ColumnarBackend":
+        return ColumnarBackend(self._rows, assume_unique=True)
+
+    # -- dictionary encoding -----------------------------------------------------
+    def dictionary(self, position: int) -> ColumnDictionary:
+        """The (lazily realised) dictionary encoding of one column."""
+        dictionary = self._dictionaries.get(position)
+        if dictionary is None:
+            self._count("dictionary_builds")
+            dictionary = ColumnDictionary(row[position] for row in self._rows)
+            self._dictionaries[position] = dictionary
+        else:
+            self._count("dictionary_hits")
+        return dictionary
+
+    def _code_rows(self, positions: IndexKey) -> list[tuple[int, ...]]:
+        """Rows restricted to ``positions``, in dictionary-code space."""
+        columns = [self.dictionary(p).codes for p in positions]
+        return list(zip(*columns)) if columns else [() for _ in self._rows]
+
+    def _decode(self, code_key: tuple[int, ...], positions: IndexKey) -> tuple:
+        return tuple(self._dictionaries[p].decode[code]
+                     for p, code in zip(positions, code_key))
+
+    # -- cached access structures ---------------------------------------------
+    def hash_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        index = self._hash_indexes.get(key_positions)
+        if index is None:
+            self._count("hash_index_builds")
+            index = self._compute_hash_index(key_positions)
+            self._hash_indexes[key_positions] = index
+        else:
+            self._count("hash_index_hits")
+        return index
+
+    def has_cached_index(self, key_positions: IndexKey) -> bool:
+        return key_positions in self._hash_indexes
+
+    def key_set(self, key_positions: IndexKey):
+        cached = self._key_sets.get(key_positions)
+        if cached is not None:
+            self._count("key_set_hits")
+            return cached
+        index = self._hash_indexes.get(key_positions)
+        if index is not None:
+            self._count("key_set_hits")
+            return index.keys()
+        self._count("key_set_builds")
+        computed = self._compute_key_set(key_positions)
+        self._key_sets[key_positions] = computed
+        return computed
+
+    def degree_index(self, given_positions: IndexKey,
+                     target_positions: IndexKey) -> dict[tuple, int]:
+        key = (given_positions, target_positions)
+        cached = self._degree_indexes.get(key)
+        if cached is not None:
+            self._count("degree_index_hits")
+            return cached
+        groups = self._group_indexes.get(key)
+        if groups is not None:
+            degrees = {k: len(v) for k, v in groups.items()}
+        else:
+            self._count("degree_index_builds")
+            degrees = self._degrees_via_codes(given_positions, target_positions)
+        self._degree_indexes[key] = degrees
+        return degrees
+
+    def _degrees_via_codes(self, given_positions: IndexKey,
+                           target_positions: IndexKey) -> dict[tuple, int]:
+        """Group in dictionary-code space, decode only the distinct keys."""
+        given_codes = self._code_rows(given_positions)
+        target_codes = self._code_rows(target_positions)
+        groups: dict[tuple, set[tuple]] = {}
+        for key, value in zip(given_codes, target_codes):
+            values = groups.get(key)
+            if values is None:
+                groups[key] = {value}
+            else:
+                values.add(value)
+        return {self._decode(key, given_positions): len(values)
+                for key, values in groups.items()}
+
+    def group_index(self, given_positions: IndexKey,
+                    target_positions: IndexKey) -> dict[tuple, tuple[tuple, ...]]:
+        key = (given_positions, target_positions)
+        cached = self._group_indexes.get(key)
+        if cached is not None:
+            self._count("group_index_hits")
+            return cached
+        self._count("group_index_builds")
+        groups = self._compute_groups(given_positions, target_positions)
+        frozen = {k: tuple(v) for k, v in groups.items()}
+        self._group_indexes[key] = frozen
+        self._degree_indexes.setdefault(key, {k: len(v) for k, v in frozen.items()})
+        return frozen
+
+    def trie(self, positions: IndexKey) -> list[dict[tuple, set]]:
+        cached = self._tries.get(positions)
+        if cached is not None:
+            self._count("trie_hits")
+            return cached
+        self._count("trie_builds")
+        levels = self._compute_trie(positions)
+        self._tries[positions] = levels
+        return levels
+
+    def project_backend(self, positions: IndexKey) -> "ColumnarBackend":
+        cached = self._projections.get(positions)
+        if cached is not None:
+            self._count("project_hits")
+            return cached
+        self._count("project_builds")
+        if len(positions) == 1:
+            distinct: Iterable[tuple] = [(value,)
+                                         for value in self.dictionary(positions[0]).decode]
+        else:
+            distinct = self._compute_key_set(positions)
+        backend = ColumnarBackend(distinct, assume_unique=True)
+        self._projections[positions] = backend
+        return backend
+
+
+# ---------------------------------------------------------------------------
+# backend registry and default selection
+# ---------------------------------------------------------------------------
+
+BACKENDS: dict[str, type[StorageBackend]] = {
+    SetBackend.kind: SetBackend,
+    ColumnarBackend.kind: ColumnarBackend,
+}
+
+_default_backend = SetBackend.kind
+
+
+def register_backend(backend_class: type[StorageBackend]) -> None:
+    """Register a third-party storage backend under its ``kind`` name."""
+    BACKENDS[backend_class.kind] = backend_class
+
+
+def resolve_backend(kind: str) -> type[StorageBackend]:
+    try:
+        return BACKENDS[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown storage backend {kind!r}; available: {sorted(BACKENDS)}"
+        ) from exc
+
+
+def get_default_backend() -> str:
+    """The backend kind new relations use when none is specified."""
+    return _default_backend
+
+
+def set_default_backend(kind: str) -> None:
+    """Set the process-wide default backend kind ('set' or 'columnar')."""
+    global _default_backend
+    resolve_backend(kind)
+    _default_backend = kind
+
+
+@contextmanager
+def using_backend(kind: str):
+    """Temporarily switch the default backend (for tests and benchmarks)."""
+    global _default_backend
+    resolve_backend(kind)
+    previous = _default_backend
+    _default_backend = kind
+    try:
+        yield
+    finally:
+        _default_backend = previous

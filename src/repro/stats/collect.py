@@ -36,12 +36,16 @@ def collect_statistics(database: Database, query: ConjunctiveQuery,
     base:
         The reference size ``N``; defaults to the largest relation size (at
         least 2 so the log scale is well defined).
+
+    Degree probes go through each bound relation's storage backend, so under
+    a caching backend the group-by structures built here are the same ones
+    the executor's partitioning and measure initialisation consume — and a
+    second collection over the same database is served entirely from cache.
     """
     if base is None:
         base = max(2.0, float(database.max_relation_size()))
     statistics = ConstraintSet(base=base)
-    for atom in query.atoms:
-        bound_relation = database.bind_atom(atom)
+    for atom, bound_relation in zip(query.atoms, database.bind_query(query)):
         variables = sorted(atom.varset)
         statistics.add_cardinality(atom.varset, max(1, len(bound_relation)),
                                    guard=atom.relation)

@@ -41,6 +41,28 @@ def test_bind_query_and_restrict(figure2_db):
     assert set(restricted.relation_names()) == {"R", "S", "T", "U"}
 
 
+def test_bound_atoms_are_independent_snapshots(figure2_db):
+    """Cached bindings share indexes but not mutations."""
+    atom = Atom("R", ("X", "Y"))
+    first = figure2_db.bind_atom(atom)
+    second = figure2_db.bind_atom(atom)
+    first.add((42, "new"))
+    assert (42, "new") in first
+    assert (42, "new") not in second
+    assert (42, "new") not in figure2_db["R"]
+    # After mutating the stored relation, fresh bindings see the new row.
+    figure2_db["R"].add((43, "stored"))
+    assert (43, "stored") in figure2_db.bind_atom(atom)
+    assert (43, "stored") not in second
+
+
+def test_relation_rejects_rows_alongside_backend_instance():
+    from repro.relational import SetBackend
+
+    with pytest.raises(ValueError):
+        Relation("R", ("a",), [(1,)], backend=SetBackend([(2,)]))
+
+
 def test_copy_is_independent(figure2_db):
     copy = figure2_db.copy()
     copy["R"].add((99, "zz"))

@@ -55,6 +55,63 @@ def test_semijoin_reduce_reaches_consistency():
     assert reduced[2].rows == frozenset({(10, "w1")})
 
 
+def test_project_rejects_missing_columns_up_front():
+    r = Relation("R", ("a", "b"), [(1, 2)])
+    with pytest.raises(KeyError) as excinfo:
+        project(r, ["a", "zz", "ww"])
+    message = str(excinfo.value)
+    assert "'R'" in message
+    assert "zz" in message and "ww" in message
+
+
+def _all_pairs_semijoin_reduce(relations):
+    """The original O(n²)-per-pass reference fixpoint, for comparison."""
+    current = [relation.copy() for relation in relations]
+    changed = True
+    while changed:
+        changed = False
+        for i, left in enumerate(current):
+            for j, right in enumerate(current):
+                if i == j or not (left.column_set & right.column_set):
+                    continue
+                reduced = left.semijoin(right)
+                if len(reduced) < len(left):
+                    current[i] = reduced
+                    left = reduced
+                    changed = True
+    return current
+
+
+def test_semijoin_reduce_worklist_matches_all_pairs_fixpoint():
+    """The worklist version reaches the same fixpoint as the all-pairs loop.
+
+    The chain is built so that the emptiness of the last relation has to
+    propagate all the way back to the first one through several rounds.
+    """
+    import random
+
+    rng = random.Random(5)
+    relations = []
+    for index in range(5):
+        rows = [(rng.randrange(8), rng.randrange(8)) for _ in range(20)]
+        relations.append(Relation(f"R{index}", (f"x{index}", f"x{index + 1}"), rows))
+    # A cycle-closing relation adds a second propagation path.
+    relations.append(Relation("C", ("x5", "x0"),
+                              [(rng.randrange(8), rng.randrange(8))
+                               for _ in range(6)]))
+    expected = _all_pairs_semijoin_reduce(relations)
+    actual = semijoin_reduce(relations)
+    assert [rel.rows for rel in actual] == [rel.rows for rel in expected]
+    # Degenerate chains: an empty relation empties every connected neighbour.
+    chain = [
+        Relation("A", ("x", "y"), [(1, 2), (2, 3)]),
+        Relation("B", ("y", "z"), [(2, 5), (3, 6)]),
+        Relation("D", ("z", "w"), []),
+    ]
+    drained = semijoin_reduce(chain)
+    assert all(len(rel) == 0 for rel in drained)
+
+
 def test_cartesian_product_requires_disjoint_schemas():
     a = Relation("A", ("x",), [(1,), (2,)])
     b = Relation("B", ("y",), [(10,), (20,)])

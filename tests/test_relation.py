@@ -78,6 +78,24 @@ def test_hash_join():
     assert projected.rows == frozenset({(1, "a", 10), (3, "c", 30)})
 
 
+def test_hash_join_schema_is_deterministic():
+    """The output schema must not depend on which input is smaller."""
+    small = Relation("S", ("b", "c"), [(1, 10)])
+    large = Relation("L", ("a", "b"), [(7, 1), (8, 1), (9, 2), (6, 3)])
+    expected = ("a", "b", "c")
+    assert large.hash_join(small).columns == expected
+    # Growing the right side past the left must not flip the column order.
+    grown = Relation("S", ("b", "c"), [(1, 10), (1, 11), (2, 12), (3, 13),
+                                       (1, 14), (2, 15)])
+    assert large.hash_join(grown).columns == expected
+    assert small.hash_join(large).columns == ("b", "c", "a")
+    # Row content agrees with the schema in both regimes.
+    assert large.hash_join(small).rows == frozenset({(7, 1, 10), (8, 1, 10)})
+    assert large.hash_join(grown).rows == frozenset({
+        (7, 1, 10), (8, 1, 10), (7, 1, 11), (8, 1, 11), (7, 1, 14),
+        (8, 1, 14), (9, 2, 12), (9, 2, 15), (6, 3, 13)})
+
+
 def test_hash_join_cartesian_when_no_shared_columns():
     a = Relation("A", ("x",), [(1,), (2,)])
     b = Relation("B", ("y",), [(10,)])
