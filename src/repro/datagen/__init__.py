@@ -9,11 +9,14 @@ from repro.datagen.graphs import (
     skewed_binary_relation,
 )
 from repro.datagen.workloads import (
+    WeightedWorkload,
     Workload,
     four_cycle_hard_workload,
     four_cycle_random_workload,
     path_workload,
     triangle_workload,
+    weighted_four_cycle_workload,
+    weighted_path_workload,
 )
 
 __all__ = [
@@ -24,8 +27,11 @@ __all__ = [
     "erdos_renyi_edges",
     "functional_relation",
     "Workload",
+    "WeightedWorkload",
     "four_cycle_hard_workload",
     "four_cycle_random_workload",
     "triangle_workload",
     "path_workload",
+    "weighted_four_cycle_workload",
+    "weighted_path_workload",
 ]

@@ -7,7 +7,9 @@ recorded in one place and the runs are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.datagen.graphs import (
     hard_four_cycle_instance,
@@ -88,4 +90,85 @@ def path_workload(length: int, size: int, domain: int | None = None,
         database=random_graph_database(query, size, domain, seed=seed,
                                        backend=backend),
         description=f"{length}-hop path query (free-connex acyclic)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# weighted-graph workloads (FAQ over non-Boolean semirings)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WeightedWorkload(Workload):
+    """A workload whose tuples additionally carry per-relation edge weights.
+
+    ``weights`` maps each relation name to a ``row tuple -> weight`` table
+    (rows in the relation's stored column order); :meth:`weight` adapts it to
+    the ``(relation_name, row_as_dict) -> annotation`` signature
+    :func:`repro.algorithms.faq.evaluate_faq` expects, and ``weight_key`` is
+    the stable name under which the database may memoize the annotated
+    factors it produces.
+    """
+
+    weights: Mapping[str, Mapping[tuple, float]] = field(default_factory=dict)
+    weight_key: str = ""
+
+    def weight(self, relation_name: str, row: Mapping[str, object]) -> float:
+        # ``row`` is built by zipping the bound relation's columns with the
+        # stored tuple, so its value order is the stored column order.
+        return self.weights[relation_name][tuple(row.values())]
+
+
+def _random_edge_weights(database: Database, seed: int,
+                         low: float, high: float) -> dict[str, dict[tuple, float]]:
+    rng = random.Random(seed)
+    # Rows are weighted in sorted order so the weights are a function of the
+    # data alone, not of the storage backend's iteration order.
+    return {name: {row: round(rng.uniform(low, high), 3)
+                   for row in sorted(relation.rows)}
+            for name, relation in zip(database.relation_names(),
+                                      database.relations())}
+
+
+def weighted_four_cycle_workload(size: int, domain: int | None = None,
+                                 seed: int = 23, backend: str | None = None,
+                                 weight_range: tuple[float, float] = (0.5, 2.0),
+                                 ) -> WeightedWorkload:
+    """A random 4-cycle with uniform random edge weights.
+
+    Under min-plus (or top-k min-plus) the FAQ over this workload finds, per
+    output pair, the (k) cheapest 4-cycle completions; under max-times, the
+    most probable one.
+    """
+    query = four_cycle_projected()
+    domain = domain or max(4, int(size ** 0.75))
+    database = random_graph_database(query, size, domain, seed=seed,
+                                     backend=backend)
+    low, high = weight_range
+    return WeightedWorkload(
+        name=f"weighted-four-cycle-N{size}",
+        query=query,
+        database=database,
+        description="4-cycle query with uniform random edge weights",
+        weights=_random_edge_weights(database, seed + 1, low, high),
+        weight_key=f"weighted-four-cycle-N{size}-seed{seed}-w{low:g}:{high:g}",
+    )
+
+
+def weighted_path_workload(length: int, size: int, domain: int | None = None,
+                           seed: int = 29, backend: str | None = None,
+                           weight_range: tuple[float, float] = (0.5, 2.0),
+                           ) -> WeightedWorkload:
+    """An acyclic chain with random edge weights (shortest-path style FAQ)."""
+    query = path_query(length, free_variables=("X1", f"X{length + 1}"))
+    domain = domain or max(4, size // 4)
+    database = random_graph_database(query, size, domain, seed=seed,
+                                     backend=backend)
+    low, high = weight_range
+    return WeightedWorkload(
+        name=f"weighted-path{length}-N{size}",
+        query=query,
+        database=database,
+        description=f"{length}-hop path query with random edge weights",
+        weights=_random_edge_weights(database, seed + 1, low, high),
+        weight_key=f"weighted-path{length}-N{size}-seed{seed}-w{low:g}:{high:g}",
     )

@@ -85,6 +85,13 @@ def evaluate_adaptive(query: ConjunctiveQuery, database: Database,
         raise ValueError("the query admits no free-connex tree decomposition")
     report = AdaptiveReport(decompositions=decompositions)
 
+    # A guaranteed-empty query needs no proof steps: any empty atom makes the
+    # body unsatisfiable, so return the empty answer without running a DDR.
+    if any(len(relation) == 0 for relation in database.bind_query(query)):
+        report.bag_sizes = {bag: 0 for decomposition in decompositions
+                            for bag in decomposition.bags}
+        return Relation(query.name, tuple(sorted(query.free_variables)), []), report
+
     bag_relations = _evaluate_all_ddrs(query, database, statistics, decompositions, report)
     _semijoin_reduce_bags(query, database, bag_relations, report)
     report.bag_sizes = {bag: len(rel) for bag, rel in bag_relations.items()}

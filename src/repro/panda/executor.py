@@ -11,10 +11,22 @@ Given a DDR, statistics and a database, the executor
    worst-case size bound.
 
 The supports of the final target-term tables form a model of the DDR whose
-relations each have at most ``B`` tuples.  (Eager truncation replaces the
-paper's Reset-lemma bookkeeping: a tuple whose partial measure has dropped
-below ``1/B`` can never reach the threshold again because later steps only
-multiply by factors ≤ 1 or take marginals, so dropping it early is safe.)
+relations each have at most ``≈ B`` tuples.  Eager truncation replaces the
+paper's Reset-lemma bookkeeping; it is sound because of a potential argument,
+not the seed's (wrong) "later steps only multiply by factors ≤ 1" story —
+marginal steps *sum* weights, so an individual tuple's weight alone says
+nothing.  The correct invariant: every measure weight is ≤ 1, and for every
+body tuple ``t`` the potential ``Φ(t) = Σ over live terms of
+-log w_term(π_term(t))`` starts at ``≤ log B`` (that is what the Shannon-flow
+objective certifies about the source initialisations) and never increases —
+decomposition splits ``-log w`` into ``-log w_marg - log w_cond`` exactly,
+composition adds the two back, submodularity keeps the data, and
+monotonicity replaces a weight by a marginal *sum* that contains it.  Since
+every summand of ``Φ(t)`` is nonnegative, each individual one is at most
+``log B``: a body tuple's projection carries weight ``≥ 1/B`` in *every*
+live table, at *every* step, so truncating strictly below the true ``1/B``
+only ever removes junk.  The delicate part is "strictly below the true
+``1/B``" — see :data:`TRUNCATION_SLACK`.
 """
 
 from __future__ import annotations
@@ -81,6 +93,27 @@ class PandaReport:
         return "\n".join(lines)
 
 
+#: Relative slack between the computed ``1/size_bound`` and the truncation
+#: threshold actually applied.  Soundness requires the threshold to sit
+#: *strictly below* the true ``1/B``: every body tuple's projection carries
+#: weight ``>= 1/B`` in every live measure table (see the module docstring),
+#: but that inequality is attained exactly — e.g. a body tuple guarded only by
+#: a cardinality-7 source term ends with weight exactly ``1/7``.  The bound
+#: exponent comes out of a floating-point LP whose objective can undershoot
+#: the exact optimum by ~1e-9, which makes ``size_bound`` undershoot ``B``
+#: and ``1/size_bound`` overshoot the true ``1/B`` — so a hair of slack
+#: (the seed used ``1e-9``) is not enough, and answers were silently dropped.
+#: ``1e-6`` dominates both the LP error and the float rounding of the weight
+#: products themselves, while loosening the size guarantee only by the
+#: negligible factor ``1/(1 - 1e-6)``.
+TRUNCATION_SLACK = 1e-6
+
+
+def _safe_threshold(size_bound: float) -> float:
+    """The eager-truncation threshold for a given worst-case size bound."""
+    return (1.0 / size_bound) * (1.0 - TRUNCATION_SLACK) if size_bound > 0 else 0.0
+
+
 def evaluate_ddr(ddr: DisjunctiveDatalogRule, database: Database,
                  statistics: ConstraintSet) -> tuple[dict[frozenset[str], Relation], PandaReport]:
     """Evaluate a DDR with PANDA; returns ``{target: relation}`` plus a report."""
@@ -89,9 +122,7 @@ def evaluate_ddr(ddr: DisjunctiveDatalogRule, database: Database,
     sequence = construct_proof_sequence(integral)
     bound_exponent = float(flow.bound_exponent())
     size_bound = statistics.size_from_exponent(bound_exponent)
-    # A hair of slack keeps borderline tuples (whose exact weight equals 1/B)
-    # from being lost to floating point rounding.
-    threshold = (1.0 / size_bound) * (1.0 - 1e-9) if size_bound > 0 else 0.0
+    threshold = _safe_threshold(size_bound)
 
     entries = _initial_entries(ddr.query, database, statistics, integral)
     filters = [database.bind_atom(atom) for atom in ddr.query.atoms]
@@ -194,10 +225,9 @@ def _apply_submodularity(step: SubmodularityStep, entries: list[_Entry]) -> None
     entry = _take_entry(entries, Term(step.target, step.given))
     measure = entry.measure
     if isinstance(measure, UnconditionalMeasure):
-        # h(Y) → h(Y|Z): the measure stays the same and simply ignores Z.
-        groups = {(): sorted(((row, weight) for row, weight in measure.weights.items()),
-                             key=lambda item: -item[1])}
-        measure = ConditionalMeasure(measure.variables, (), groups)
+        # h(Y) → h(Y|Z): the measure stays the same and simply ignores Z; the
+        # sorted view is served by the measure backend's memoized index.
+        measure = ConditionalMeasure.from_unconditional(measure)
     entries.append(_Entry(term=Term(step.target, step.given | step.extra),
                           measure=measure))
 
@@ -242,7 +272,8 @@ def _filter_with_atoms(measure: UnconditionalMeasure,
     for row, weight in measure.weights.items():
         if all(tuple(row[i] for i in indices) in allowed for indices, allowed in keys):
             weights[row] = weight
-    return UnconditionalMeasure(measure.variables, weights)
+    return UnconditionalMeasure(measure.variables, weights,
+                                backend=measure.backend_kind)
 
 
 def _apply_monotonicity(step: MonotonicityStep, entries: list[_Entry]) -> None:

@@ -14,82 +14,146 @@ conditioning set without touching the data (the measure simply does not depend
 on the extra variables), and composition multiplies a marginal with a
 conditional — the only step that creates new tuples, and the place where
 PANDAExpress truncates at the ``1/B`` threshold.
+
+Measure tables are facades over the same pluggable annotated storage engines
+as semiring-annotated relations (:mod:`repro.relational.storage`): an
+:class:`UnconditionalMeasure` delegates its weighted tuples, marginal
+group-bys and sorted-weight views to an
+:class:`~repro.relational.storage.AnnotatedBackend`, and a
+:class:`ConditionalMeasure`'s groups are materialised from those (possibly
+cached) structures — so statistics collection, measure initialisation and the
+executor all hit one cache hierarchy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.relational.relation import Relation
+from repro.relational.storage import AnnotatedBackend, resolve_annotated_backend
 
 
-@dataclass
+def _add(a: float, b: float) -> float:
+    return a + b
+
+
+#: Cache tag for real-valued summation (the ⊕ of the measure tables); see
+#: :meth:`AnnotatedBackend.marginal`.
+_SUM_TAG = "real-sum"
+
+
 class UnconditionalMeasure:
-    """A weighted table over ``variables``: a sub-probability measure."""
+    """A weighted table over ``variables``: a sub-probability measure.
 
-    variables: tuple[str, ...]
-    weights: dict[tuple, float]
+    ``backend`` selects the annotated storage engine (``"dict"`` reference or
+    index-caching ``"columnar"``; plain kinds like ``"set"`` map to their
+    annotated pair), a ready backend instance, or ``None`` for the process
+    default.
+    """
+
+    def __init__(self, variables: tuple[str, ...],
+                 weights: Mapping[tuple, float] | Iterable[tuple[tuple, float]],
+                 backend: str | AnnotatedBackend | None = None) -> None:
+        self.variables = tuple(variables)
+        if isinstance(backend, AnnotatedBackend):
+            self._backend = backend
+        else:
+            backend_class = resolve_annotated_backend(backend)
+            pairs = weights.items() if isinstance(weights, Mapping) else weights
+            self._backend = backend_class(pairs)
 
     @classmethod
     def uniform_from_relation(cls, relation: Relation, variables: Iterable[str],
                               denominator: float) -> "UnconditionalMeasure":
-        """``p(y) = 1/denominator`` on the projection of ``relation`` onto ``variables``."""
+        """``p(y) = 1/denominator`` on the projection of ``relation`` onto ``variables``.
+
+        The projection is served by the relation's cached distinct-projection
+        backend; the measure lives on the annotated engine paired with the
+        relation's own storage kind.
+        """
         columns = sorted(variables)
         projected = relation.project(columns)
         weight = 1.0 / max(denominator, 1.0)
-        return cls(tuple(columns), {row: weight for row in projected})
+        return cls(tuple(columns), ((row, weight) for row in projected),
+                   backend=relation.backend_kind)
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def weights(self) -> Mapping[tuple, float]:
+        """The weighted tuples.  Treat as read-only (it may alias a cache)."""
+        return self._backend.mapping()
+
+    @property
+    def backend_kind(self) -> str:
+        return self._backend.kind
 
     def total_mass(self) -> float:
-        return sum(self.weights.values())
+        return sum(self._backend.mapping().values())
 
     def __len__(self) -> int:
-        return len(self.weights)
+        return len(self._backend)
 
+    def _spawn(self, variables: tuple[str, ...],
+               pairs: Iterable[tuple[tuple, float]]) -> "UnconditionalMeasure":
+        return UnconditionalMeasure(variables, {},
+                                    backend=self._backend.spawn(pairs))
+
+    # --------------------------------------------------------------- algebra
     def truncate(self, threshold: float) -> "UnconditionalMeasure":
         """Keep only tuples whose weight is at least ``threshold``."""
-        kept = {row: weight for row, weight in self.weights.items()
-                if weight >= threshold}
-        return UnconditionalMeasure(self.variables, kept)
+        return self._spawn(self.variables,
+                           ((row, weight) for row, weight in self._backend.items()
+                            if weight >= threshold))
 
     def marginal(self, onto: Iterable[str]) -> "UnconditionalMeasure":
-        """Sum weights over the variables not in ``onto``."""
+        """Sum weights over the variables not in ``onto``.
+
+        Served by the backend's memoized marginal group-by, so e.g. the
+        decomposition step's marginal and the conditional's normalising
+        denominators are computed once per (columns, backend) pair.
+        """
         columns = sorted(set(onto) & set(self.variables))
-        indices = [self.variables.index(c) for c in columns]
-        weights: dict[tuple, float] = {}
-        for row, weight in self.weights.items():
-            key = tuple(row[i] for i in indices)
-            weights[key] = weights.get(key, 0.0) + weight
-        return UnconditionalMeasure(tuple(columns), weights)
+        indices = tuple(self.variables.index(c) for c in columns)
+        aggregated = self._backend.marginal(indices, _add, tag=_SUM_TAG)
+        return self._spawn(tuple(columns), aggregated.items())
 
     def conditional_on(self, given: Iterable[str]) -> "ConditionalMeasure":
-        """The conditional measure ``p(rest | given)`` derived from this joint measure."""
+        """The conditional measure ``p(rest | given)`` derived from this joint measure.
+
+        The grouping is served by the backend's (possibly cached) probe index
+        on the ``given`` columns and the normalising marginal by its memoized
+        group-by — decomposition touches each physical structure once.
+        """
         given_columns = sorted(set(given) & set(self.variables))
         target_columns = [c for c in self.variables if c not in set(given_columns)]
-        given_idx = [self.variables.index(c) for c in given_columns]
-        target_idx = [self.variables.index(c) for c in target_columns]
-        marginal = self.marginal(given_columns)
+        given_idx = tuple(self.variables.index(c) for c in given_columns)
+        target_idx = tuple(self.variables.index(c) for c in target_columns)
+        denominators = self._backend.marginal(given_idx, _add, tag=_SUM_TAG)
         groups: dict[tuple, list[tuple[tuple, float]]] = {}
-        for row, weight in self.weights.items():
-            key = tuple(row[i] for i in given_idx)
-            value = tuple(row[i] for i in target_idx)
-            denominator = marginal.weights.get(key, 0.0)
+        for key, bucket in self._backend.probe_index(given_idx).items():
+            denominator = denominators.get(key, 0.0)
             if denominator <= 0:
                 continue
-            groups.setdefault(key, []).append((value, weight / denominator))
-        for key in groups:
-            groups[key].sort(key=lambda entry: -entry[1])
+            group = [(tuple(row[i] for i in target_idx), weight / denominator)
+                     for row, weight in bucket]
+            group.sort(key=lambda entry: -entry[1])
+            groups[key] = group
         return ConditionalMeasure(tuple(target_columns), tuple(given_columns), groups)
 
+    def sorted_weights(self) -> list[tuple[tuple, float]]:
+        """All tuples by decreasing weight (the submodularity-step view),
+        served by the backend's memoized sorted-group index."""
+        all_positions = tuple(range(len(self.variables)))
+        return self._backend.sorted_groups((), all_positions).get((), [])
+
     def support_relation(self, name: str) -> Relation:
-        return Relation(name, self.variables, self.weights.keys())
+        return Relation(name, self.variables, self._backend.mapping().keys())
 
     def as_assignments(self) -> Iterable[tuple[dict, float]]:
-        for row, weight in self.weights.items():
+        for row, weight in self._backend.items():
             yield dict(zip(self.variables, row)), weight
 
 
-@dataclass
 class ConditionalMeasure:
     """A conditional sub-probability measure ``p(target | key)``.
 
@@ -97,11 +161,19 @@ class ConditionalMeasure:
     on; submodularity steps may enlarge the nominal conditioning set of the
     term this measure is attached to, but the stored data never changes
     (``p_{Z|XY} := p_{Z|Y}`` in Table 2).
+
+    ``groups`` is the sorted-group structure
+    ``key tuple -> [(target tuple, weight), ...]`` by decreasing weight —
+    the same shape :meth:`AnnotatedBackend.sorted_groups` serves; the
+    factory classmethods materialise it from cached storage structures.
     """
 
-    target_variables: tuple[str, ...]
-    key_variables: tuple[str, ...]
-    groups: dict[tuple, list[tuple[tuple, float]]]
+    def __init__(self, target_variables: tuple[str, ...],
+                 key_variables: tuple[str, ...],
+                 groups: dict[tuple, list[tuple[tuple, float]]]) -> None:
+        self.target_variables = tuple(target_variables)
+        self.key_variables = tuple(key_variables)
+        self.groups = groups
 
     @classmethod
     def per_group_uniform(cls, relation: Relation, target: Iterable[str],
@@ -128,6 +200,12 @@ class ConditionalMeasure:
         }
         return cls(tuple(target_columns), tuple(given_columns), groups)
 
+    @classmethod
+    def from_unconditional(cls, measure: UnconditionalMeasure) -> "ConditionalMeasure":
+        """``h(Y) → h(Y|Z)``: the measure stays the same and simply ignores Z
+        (the submodularity step on an unconditional term)."""
+        return cls(measure.variables, (), {(): list(measure.sorted_weights())})
+
     def group_for(self, assignment: Mapping[str, object]) -> list[tuple[tuple, float]]:
         key = tuple(assignment[c] for c in self.key_variables)
         return self.groups.get(key, [])
@@ -146,7 +224,9 @@ def compose(marginal: UnconditionalMeasure, conditional: ConditionalMeasure,
     The conditional's groups are sorted by decreasing weight, so the inner
     loop stops as soon as the product drops below the threshold — the work is
     proportional to the number of *kept* tuples plus the number of groups
-    touched, which is what gives PANDA its runtime guarantee.
+    touched, which is what gives PANDA its runtime guarantee.  Truncating
+    below the (strictly-below-true) ``1/B`` threshold only ever removes junk;
+    see the executor module docstring for the soundness argument.
     """
     missing = set(conditional.key_variables) - set(marginal.variables)
     if missing:
@@ -168,4 +248,5 @@ def compose(marginal: UnconditionalMeasure, conditional: ConditionalMeasure,
             key = tuple(extended[c] for c in out_columns)
             if combined > weights.get(key, 0.0):
                 weights[key] = combined
-    return UnconditionalMeasure(out_columns, weights)
+    return UnconditionalMeasure(out_columns, weights,
+                                backend=marginal.backend_kind)

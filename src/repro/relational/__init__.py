@@ -6,12 +6,17 @@ semantics reference, ``"columnar"`` adds cached indexes); see
 """
 
 from repro.relational.storage import (
+    ANNOTATED_BACKENDS,
     BACKENDS,
+    AnnotatedBackend,
+    ColumnarAnnotatedBackend,
     ColumnarBackend,
+    DictAnnotatedBackend,
     SetBackend,
     StorageBackend,
     get_default_backend,
     register_backend,
+    resolve_annotated_backend,
     set_default_backend,
     using_backend,
 )
@@ -27,11 +32,14 @@ from repro.relational.operators import (
 )
 from repro.relational.semiring import (
     BOOLEAN_SEMIRING,
+    BUILTIN_SEMIRINGS,
     COUNTING_SEMIRING,
     MAX_MIN_SEMIRING,
+    MAX_TIMES_SEMIRING,
     MIN_PLUS_SEMIRING,
     AnnotatedRelation,
     Semiring,
+    top_k_min_plus_semiring,
 )
 
 __all__ = [
@@ -39,6 +47,11 @@ __all__ = [
     "SetBackend",
     "ColumnarBackend",
     "BACKENDS",
+    "AnnotatedBackend",
+    "DictAnnotatedBackend",
+    "ColumnarAnnotatedBackend",
+    "ANNOTATED_BACKENDS",
+    "resolve_annotated_backend",
     "register_backend",
     "get_default_backend",
     "set_default_backend",
@@ -59,4 +72,7 @@ __all__ = [
     "COUNTING_SEMIRING",
     "MIN_PLUS_SEMIRING",
     "MAX_MIN_SEMIRING",
+    "MAX_TIMES_SEMIRING",
+    "BUILTIN_SEMIRINGS",
+    "top_k_min_plus_semiring",
 ]

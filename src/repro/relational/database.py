@@ -35,6 +35,7 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._backend_kind = backend
         self._bind_cache: dict[tuple, tuple[Relation, object]] = {}
+        self._annotated_cache: dict[tuple, tuple] = {}
         if isinstance(relations, Mapping):
             for name, relation in relations.items():
                 self.add(relation, name=name)
@@ -55,6 +56,8 @@ class Database:
         self._relations[key] = relation
         for cached_key in [k for k in self._bind_cache if k[0] == key]:
             del self._bind_cache[cached_key]
+        for cached_key in [k for k in self._annotated_cache if k[0] == key]:
+            del self._annotated_cache[cached_key]
 
     def with_backend(self, backend: str) -> "Database":
         """This database with every relation converted to ``backend``."""
@@ -90,10 +93,18 @@ class Database:
         return max(len(relation) for relation in self._relations.values())
 
     def cache_stats(self) -> dict[str, int]:
-        """Aggregate index build/hit counters across the stored relations."""
+        """Aggregate index build/hit counters across the stored relations.
+
+        Includes the counters of memoized annotated bindings (the FAQ
+        engine's factors), so semiring workloads surface their index reuse
+        through the same interface as set-semantics ones.
+        """
         totals: dict[str, int] = {}
         for relation in self._relations.values():
             for event, count in relation.storage_stats.items():
+                totals[event] = totals.get(event, 0) + count
+        for annotated, _ in self._annotated_cache.values():
+            for event, count in annotated.storage_stats.items():
                 totals[event] = totals.get(event, 0) + count
         return totals
 
@@ -131,6 +142,43 @@ class Database:
     def bind_query(self, query: ConjunctiveQuery) -> list[Relation]:
         """Bind every atom of ``query``, in atom order."""
         return [self.bind_atom(atom) for atom in query.atoms]
+
+    def annotated_atom(self, atom: Atom, semiring,
+                       weight=None, weight_key: str | None = None):
+        """The bound atom as an annotated relation over ``semiring``.
+
+        This is where the FAQ engine gets its factors.  Bindings are memoized
+        per ``(relation, variables, semiring name, weight key)`` — but only
+        when the paired annotated engine caches indexes (so the ``dict``
+        reference engine faithfully keeps the seed's rebuild-per-run costs)
+        and the annotation is reproducible: the default ``one`` annotation
+        (``weight is None``) or a ``weight`` function the caller names with a
+        stable ``weight_key``.  Cache entries are validated by the stored
+        relation's backend identity, exactly like :meth:`bind_atom`, so
+        copy-on-write mutation drops them automatically.
+        """
+        from repro.relational.semiring import AnnotatedRelation
+
+        relation = self[atom.relation]
+        cache_key = None
+        # A falsy weight_key (None, "") means "unnamed weight function" — two
+        # different unnamed functions must never share a cache slot.
+        if weight is None or weight_key:
+            cache_key = (atom.relation, tuple(atom.variables), semiring.name,
+                         None if weight is None else weight_key)
+            cached = self._annotated_cache.get(cache_key)
+            if cached is not None:
+                annotated, stored_backend = cached
+                if relation._backend is stored_backend:
+                    return annotated
+        annotated = AnnotatedRelation.from_relation(self.bind_atom(atom),
+                                                    semiring, weight=weight)
+        if cache_key is not None and annotated._backend.caches_indexes:
+            # Annotated relations are immutable through their facade API, so
+            # the cache can hand out the same facade (and its warm indexes).
+            annotated._backend.share()
+            self._annotated_cache[cache_key] = (annotated, relation._backend)
+        return annotated
 
     def restrict_to_query(self, query: ConjunctiveQuery) -> "Database":
         """A database containing only the relations mentioned by ``query``."""

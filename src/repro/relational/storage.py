@@ -26,6 +26,13 @@ are also hit by the executor).  Mutation goes through copy-on-write — a facade
 that wants to ``add`` a row to a shared backend forks it first — so sharing is
 never observable through the ``Relation`` API.
 
+The same split exists for *annotated* (weighted) relations: the
+:class:`AnnotatedBackend` interface maps duplicate-free rows to semiring
+annotations, with :class:`DictAnnotatedBackend` as the uncached reference and
+:class:`ColumnarAnnotatedBackend` memoizing probe indexes, semijoin key sets,
+⊕-marginal group-bys and sorted conditional groups.  Semiring-annotated
+relations, FAQ factors and PANDA's measure tables are all facades over it.
+
 Every cache records build/hit counters in :attr:`StorageBackend.stats`, which
 the benchmarks use to make cached index reuse observable.
 """
@@ -457,6 +464,302 @@ class ColumnarBackend(StorageBackend):
         backend = ColumnarBackend(distinct, assume_unique=True)
         self._projections[positions] = backend
         return backend
+
+
+# ---------------------------------------------------------------------------
+# annotated (weighted) relation storage
+# ---------------------------------------------------------------------------
+
+class AnnotatedBackend:
+    """Interface (and shared bookkeeping) for *annotated* relation storage.
+
+    Annotated relations map duplicate-free rows to annotation values from a
+    commutative semiring (or to sub-probability weights, for the PANDA
+    measure tables).  The access structures mirror :class:`StorageBackend`'s,
+    adapted to carry the values along:
+
+    * *probe indexes* (``key tuple -> [(row, value), ...]``) serve joins;
+    * *key sets* serve semijoins;
+    * *marginal group-bys* serve ⊕-aggregation over a column subset — these
+      are memoized per ``(positions, tag)`` where the tag names the addition
+      operator (two different semirings must not share an aggregate);
+    * *sorted groups* (``key -> [(value-tuple, weight), ...]`` by decreasing
+      weight) serve PANDA's conditional measures.
+
+    Annotated relations are immutable through their facade APIs (every
+    algebra operation spawns a fresh backend), so annotated backends are
+    shared structurally between facades without needing the plain backends'
+    copy-on-write machinery; every cache records build/hit counters in
+    :attr:`stats`.
+    """
+
+    kind: str = "abstract"
+    #: Whether access structures are memoized (see :attr:`StorageBackend.caches_indexes`).
+    caches_indexes: bool = False
+
+    def __init__(self) -> None:
+        self.shared = False
+        self.stats: dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+    def share(self) -> "AnnotatedBackend":
+        """Mark this backend as structurally shared and return it."""
+        self.shared = True
+        return self
+
+    def _count(self, event: str) -> None:
+        self.stats[event] = self.stats.get(event, 0) + 1
+
+    # -- core storage (must be implemented) -----------------------------------
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[tuple[tuple, object]]:
+        """Iterate ``(row, value)`` pairs."""
+        raise NotImplementedError
+
+    def get(self, row: tuple, default=None):
+        raise NotImplementedError
+
+    def mapping(self) -> Mapping[tuple, object]:
+        """The annotations as a mapping.  Treat the result as read-only — it
+        may alias the backend's internal storage."""
+        raise NotImplementedError
+
+    def spawn(self, pairs: Iterable[tuple[tuple, object]]) -> "AnnotatedBackend":
+        """A new backend of the same kind holding ``pairs`` (last write wins)."""
+        return type(self)(pairs)  # type: ignore[call-arg]
+
+    # -- access structures (may cache) -----------------------------------------
+    def probe_index(self, key_positions: IndexKey) -> Mapping[tuple, Sequence[tuple]]:
+        """``key tuple -> list of (row, value) pairs`` at ``key_positions``."""
+        raise NotImplementedError
+
+    def has_cached_probe(self, key_positions: IndexKey) -> bool:
+        """True when :meth:`probe_index` for these positions is already built."""
+        return False
+
+    def key_set(self, key_positions: IndexKey):
+        """The set of distinct key tuples at the given positions."""
+        raise NotImplementedError
+
+    def marginal(self, keep_positions: IndexKey, add, tag: str) -> dict[tuple, object]:
+        """⊕-aggregate annotations grouped by ``keep_positions``.
+
+        ``add`` is the ⊕ operator and ``tag`` a stable name for it (the
+        semiring name); memoizing backends key their cache on
+        ``(keep_positions, tag)``.  The returned dict is owned by the backend
+        — callers must treat it as read-only.
+        """
+        raise NotImplementedError
+
+    def sorted_groups(self, key_positions: IndexKey,
+                      value_positions: IndexKey) -> Mapping[tuple, Sequence[tuple]]:
+        """``key -> [(value tuple, weight), ...]`` sorted by decreasing weight.
+
+        Only meaningful for numeric annotations (the PANDA measure tables).
+        """
+        raise NotImplementedError
+
+    # -- shared computation helpers -------------------------------------------
+    def _compute_probe_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        index: dict[tuple, list[tuple]] = {}
+        for row, value in self.items():
+            key = tuple(row[i] for i in key_positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [(row, value)]
+            else:
+                bucket.append((row, value))
+        return index
+
+    def _compute_key_set(self, key_positions: IndexKey) -> set[tuple]:
+        return {tuple(row[i] for i in key_positions) for row, _ in self.items()}
+
+    def _compute_marginal(self, keep_positions: IndexKey, add) -> dict[tuple, object]:
+        aggregated: dict[tuple, object] = {}
+        for row, value in self.items():
+            key = tuple(row[i] for i in keep_positions)
+            if key in aggregated:
+                aggregated[key] = add(aggregated[key], value)
+            else:
+                aggregated[key] = value
+        return aggregated
+
+    def _compute_sorted_groups(self, key_positions: IndexKey,
+                               value_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        groups: dict[tuple, list[tuple]] = {}
+        for row, weight in self.items():
+            key = tuple(row[i] for i in key_positions)
+            value = tuple(row[i] for i in value_positions)
+            groups.setdefault(key, []).append((value, weight))
+        for group in groups.values():
+            group.sort(key=lambda entry: -entry[1])
+        return groups
+
+
+class DictAnnotatedBackend(AnnotatedBackend):
+    """The reference annotated backend: a plain ``dict[tuple, value]``.
+
+    No caching whatsoever — every access structure is recomputed on every
+    request, exactly like the seed's three independent dict-of-tuples
+    implementations (``AnnotatedRelation``, the FAQ factors and the PANDA
+    measure tables) did inline.
+    """
+
+    kind = "dict"
+
+    def __init__(self, pairs: Iterable[tuple[tuple, object]] = ()) -> None:
+        super().__init__()
+        self._annotations: dict[tuple, object] = dict(pairs)
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def items(self) -> Iterator[tuple[tuple, object]]:
+        return iter(self._annotations.items())
+
+    def get(self, row: tuple, default=None):
+        return self._annotations.get(row, default)
+
+    def mapping(self) -> Mapping[tuple, object]:
+        return self._annotations
+
+    def probe_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        self._count("probe_index_builds")
+        return self._compute_probe_index(key_positions)
+
+    def key_set(self, key_positions: IndexKey) -> set[tuple]:
+        self._count("key_set_builds")
+        return self._compute_key_set(key_positions)
+
+    def marginal(self, keep_positions: IndexKey, add, tag: str) -> dict[tuple, object]:
+        self._count("marginal_builds")
+        return self._compute_marginal(keep_positions, add)
+
+    def sorted_groups(self, key_positions: IndexKey,
+                      value_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        self._count("sorted_group_builds")
+        return self._compute_sorted_groups(key_positions, value_positions)
+
+
+class ColumnarAnnotatedBackend(AnnotatedBackend):
+    """Annotated storage with cached access structures.
+
+    The annotated sibling of :class:`ColumnarBackend`: probe indexes, key
+    sets, ⊕-marginal group-bys (per addition-operator tag) and sorted groups
+    are all memoized — safely forever, because annotated facades are
+    immutable (new annotations always spawn a new backend).  Repeated FAQ
+    evaluation over the same database reuses the cached per-variable
+    elimination indexes instead of rebuilding them, which is what
+    ``benchmarks/bench_faq_backends.py`` measures.
+    """
+
+    kind = "columnar"
+    caches_indexes = True
+
+    def __init__(self, pairs: Iterable[tuple[tuple, object]] = ()) -> None:
+        super().__init__()
+        self._annotations: dict[tuple, object] = dict(pairs)
+        self._probe_indexes: dict[IndexKey, dict[tuple, list[tuple]]] = {}
+        self._key_sets: dict[IndexKey, set[tuple]] = {}
+        self._marginals: dict[tuple[IndexKey, str], dict[tuple, object]] = {}
+        self._sorted_groups: dict[tuple[IndexKey, IndexKey],
+                                  dict[tuple, list[tuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def items(self) -> Iterator[tuple[tuple, object]]:
+        return iter(self._annotations.items())
+
+    def get(self, row: tuple, default=None):
+        return self._annotations.get(row, default)
+
+    def mapping(self) -> Mapping[tuple, object]:
+        return self._annotations
+
+    def probe_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        cached = self._probe_indexes.get(key_positions)
+        if cached is not None:
+            self._count("probe_index_hits")
+            return cached
+        self._count("probe_index_builds")
+        index = self._compute_probe_index(key_positions)
+        self._probe_indexes[key_positions] = index
+        return index
+
+    def has_cached_probe(self, key_positions: IndexKey) -> bool:
+        return key_positions in self._probe_indexes
+
+    def key_set(self, key_positions: IndexKey):
+        cached = self._key_sets.get(key_positions)
+        if cached is not None:
+            self._count("key_set_hits")
+            return cached
+        index = self._probe_indexes.get(key_positions)
+        if index is not None:
+            self._count("key_set_hits")
+            return index.keys()
+        self._count("key_set_builds")
+        computed = self._compute_key_set(key_positions)
+        self._key_sets[key_positions] = computed
+        return computed
+
+    def marginal(self, keep_positions: IndexKey, add, tag: str) -> dict[tuple, object]:
+        cache_key = (keep_positions, tag)
+        cached = self._marginals.get(cache_key)
+        if cached is not None:
+            self._count("marginal_hits")
+            return cached
+        self._count("marginal_builds")
+        aggregated = self._compute_marginal(keep_positions, add)
+        self._marginals[cache_key] = aggregated
+        return aggregated
+
+    def sorted_groups(self, key_positions: IndexKey,
+                      value_positions: IndexKey) -> dict[tuple, list[tuple]]:
+        cache_key = (key_positions, value_positions)
+        cached = self._sorted_groups.get(cache_key)
+        if cached is not None:
+            self._count("sorted_group_hits")
+            return cached
+        self._count("sorted_group_builds")
+        groups = self._compute_sorted_groups(key_positions, value_positions)
+        self._sorted_groups[cache_key] = groups
+        return groups
+
+
+ANNOTATED_BACKENDS: dict[str, type[AnnotatedBackend]] = {
+    DictAnnotatedBackend.kind: DictAnnotatedBackend,
+    ColumnarAnnotatedBackend.kind: ColumnarAnnotatedBackend,
+}
+
+#: Which annotated engine pairs with each set-semantics engine: the plain
+#: ``set`` backend maps to the uncached ``dict`` reference, ``columnar`` to
+#: the index-caching annotated engine.
+_ANNOTATED_FOR_PLAIN = {
+    SetBackend.kind: DictAnnotatedBackend.kind,
+    ColumnarBackend.kind: ColumnarAnnotatedBackend.kind,
+}
+
+
+def resolve_annotated_backend(kind: str | None) -> type[AnnotatedBackend]:
+    """The annotated backend class for ``kind``.
+
+    ``kind`` may be an annotated kind (``"dict"``/``"columnar"``), a plain
+    backend kind (``"set"`` maps to ``"dict"``), or ``None`` for the engine
+    paired with the process-default plain backend.
+    """
+    if kind is None:
+        kind = get_default_backend()
+    kind = _ANNOTATED_FOR_PLAIN.get(kind, kind)
+    try:
+        return ANNOTATED_BACKENDS[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown annotated storage backend {kind!r}; "
+            f"available: {sorted(ANNOTATED_BACKENDS)}") from exc
 
 
 # ---------------------------------------------------------------------------

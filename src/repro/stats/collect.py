@@ -47,7 +47,13 @@ def collect_statistics(database: Database, query: ConjunctiveQuery,
     statistics = ConstraintSet(base=base)
     for atom, bound_relation in zip(query.atoms, database.bind_query(query)):
         variables = sorted(atom.varset)
-        statistics.add_cardinality(atom.varset, max(1, len(bound_relation)),
+        # Record the *true* cardinality — including 0 for an empty relation.
+        # The seed clamped here (``max(1, len)``), which made an empty atom
+        # report cardinality 1 and degree 1, inflating PANDA's size bound and
+        # hiding guaranteed-empty queries from the planner.  Clamping belongs
+        # in log space only, where ``log_with_base`` already maps any bound
+        # <= 1 to exponent 0 for the polymatroid LP.
+        statistics.add_cardinality(atom.varset, len(bound_relation),
                                    guard=atom.relation)
         if not include_degrees or len(variables) < 2:
             continue
@@ -56,12 +62,12 @@ def collect_statistics(database: Database, query: ConjunctiveQuery,
                 given_set = frozenset(given)
                 target_set = atom.varset - given_set
                 degree = bound_relation.degree(target_set, given_set)
-                statistics.add_degree(target_set, given_set, max(1, degree),
+                statistics.add_degree(target_set, given_set, degree,
                                       guard=atom.relation)
                 if include_l2_norms and len(given_set) == 1:
                     norm = bound_relation.lp_norm_of_degrees(target_set, given_set, 2.0)
-                    statistics.add_lp_norm(target_set, given_set, 2.0,
-                                           max(1.0, norm), guard=atom.relation)
+                    statistics.add_lp_norm(target_set, given_set, 2.0, norm,
+                                           guard=atom.relation)
     return statistics
 
 

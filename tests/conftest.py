@@ -1,8 +1,25 @@
-"""Shared fixtures: the paper's running example and small random workloads."""
+"""Shared fixtures: the paper's running example and small random workloads.
+
+Also registers the hypothesis profiles: the ``ci`` profile is deterministic
+(``derandomize`` derives every example from the test itself — no ambient
+random seed, no deadline flakes), so a property failure on CI reproduces
+exactly with ``HYPOTHESIS_PROFILE=ci pytest <failing test>``.  The default
+``dev`` profile keeps hypothesis's usual randomized search locally, where
+finding *new* counterexamples is the point.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.datagen import hard_four_cycle_instance, random_graph_database
 from repro.paperdata import (

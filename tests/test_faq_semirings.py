@@ -1,0 +1,202 @@
+"""FAQ × semirings: ``evaluate_faq`` against brute-force enumeration.
+
+The FAQ evaluator must be exact for *every* commutative semiring — variable
+elimination with aggregation pushdown is a pure algebraic rewrite.  These
+tests sweep every built-in semiring (plus a top-k min-plus instance) over
+acyclic and cyclic queries, on seeded random databases and on
+hypothesis-generated four-cycles, comparing against a reference that
+enumerates all satisfying assignments and folds ⊕ over ⊗ directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import evaluate_faq
+from repro.datagen import (
+    random_graph_database,
+    weighted_four_cycle_workload,
+    weighted_path_workload,
+)
+from repro.query import four_cycle_projected, path_query, triangle_query
+from repro.relational import (
+    BUILTIN_SEMIRINGS,
+    Database,
+    MAX_TIMES_SEMIRING,
+    MIN_PLUS_SEMIRING,
+    Relation,
+    top_k_min_plus_semiring,
+)
+
+TOP2_MIN_PLUS = top_k_min_plus_semiring(2)
+ALL_SEMIRINGS = list(BUILTIN_SEMIRINGS) + [TOP2_MIN_PLUS]
+SEMIRING_IDS = [semiring.name for semiring in ALL_SEMIRINGS]
+
+
+# ---------------------------------------------------------------------------
+# reference evaluation and helpers
+# ---------------------------------------------------------------------------
+
+def bruteforce_faq(query, database, semiring, weight=None):
+    """⊕ over all satisfying assignments of ⊗ of the atom annotations."""
+    bound = database.bind_query(query)
+    free = sorted(query.free_variables)
+    results: dict[tuple, object] = {}
+
+    def recurse(index, assignment, value):
+        if index == len(bound):
+            key = tuple(assignment[v] for v in free)
+            if key in results:
+                results[key] = semiring.add(results[key], value)
+            else:
+                results[key] = value
+            return
+        relation = bound[index]
+        name = query.atoms[index].relation
+        for row in relation:
+            row_dict = dict(zip(relation.columns, row))
+            if any(assignment.get(var, row_dict[var]) != row_dict[var]
+                   for var in row_dict):
+                continue
+            annotation = semiring.one if weight is None else weight(name, row_dict)
+            recurse(index + 1, {**assignment, **row_dict},
+                    semiring.multiply(value, annotation))
+
+    recurse(0, {}, semiring.one)
+    return {key: value for key, value in results.items()
+            if value != semiring.zero}
+
+
+def weight_for(semiring):
+    """A deterministic, semiring-typed annotation for each input tuple."""
+    def weight(name, row):
+        base = (sum(hash(v) % 7 for v in row.values()) % 5) + 1
+        if semiring.name == "boolean":
+            return True
+        if semiring.name == "counting":
+            return base
+        if semiring.name == "max-times":
+            return base / 10.0
+        if semiring.name.endswith("min-plus") and semiring.zero == ():
+            return (float(base),)
+        return float(base)
+    return weight
+
+
+def assert_values_close(semiring, actual, expected):
+    assert set(actual) == set(expected), (
+        f"{semiring.name}: support mismatch ({len(actual)} vs {len(expected)})")
+    for key, value in expected.items():
+        got = actual[key]
+        if isinstance(value, tuple):
+            assert len(got) == len(value)
+            assert all(math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+                       for a, b in zip(got, value))
+        elif isinstance(value, float):
+            assert math.isclose(got, value, rel_tol=1e-9, abs_tol=1e-9)
+        else:
+            assert got == value
+
+
+# ---------------------------------------------------------------------------
+# seeded sweeps: acyclic and cyclic queries, every semiring, both annotations
+# ---------------------------------------------------------------------------
+
+QUERIES = [
+    ("path3", lambda: path_query(3, free_variables=("X1", "X4"))),
+    ("four-cycle", four_cycle_projected),
+    ("triangle", triangle_query),
+]
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+@pytest.mark.parametrize("query_name,make_query", QUERIES,
+                         ids=[name for name, _ in QUERIES])
+def test_faq_matches_bruteforce_default_annotation(query_name, make_query, semiring):
+    query = make_query()
+    for seed in (1, 8):
+        database = random_graph_database(query, 14, 5, seed=seed)
+        result = evaluate_faq(query, database, semiring)
+        expected = bruteforce_faq(query, database, semiring)
+        assert_values_close(semiring, result.as_dict(), expected)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+@pytest.mark.parametrize("query_name,make_query", QUERIES,
+                         ids=[name for name, _ in QUERIES])
+def test_faq_matches_bruteforce_weighted_annotation(query_name, make_query, semiring):
+    query = make_query()
+    weight = weight_for(semiring)
+    database = random_graph_database(query, 12, 4, seed=3)
+    result = evaluate_faq(query, database, semiring, weight=weight)
+    expected = bruteforce_faq(query, database, semiring, weight=weight)
+    assert_values_close(semiring, result.as_dict(), expected)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+@given(edges=st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_faq_matches_bruteforce_on_random_four_cycles(semiring, edges):
+    query = four_cycle_projected()
+    database = Database([
+        Relation("R", ("a", "b"), edges),
+        Relation("S", ("a", "b"), edges[::-1]),
+        Relation("T", ("a", "b"), edges[: max(1, len(edges) // 2)]),
+        Relation("U", ("a", "b"), edges),
+    ])
+    result = evaluate_faq(query, database, semiring)
+    expected = bruteforce_faq(query, database, semiring)
+    assert_values_close(semiring, result.as_dict(), expected)
+
+
+# ---------------------------------------------------------------------------
+# new semirings and weighted workloads
+# ---------------------------------------------------------------------------
+
+def test_max_times_finds_most_probable_assignment():
+    workload = weighted_path_workload(2, 20, seed=5, weight_range=(0.1, 0.9))
+    result = evaluate_faq(workload.query, workload.database, MAX_TIMES_SEMIRING,
+                          weight=workload.weight, weight_key=workload.weight_key)
+    expected = bruteforce_faq(workload.query, workload.database,
+                              MAX_TIMES_SEMIRING, weight=workload.weight)
+    assert_values_close(MAX_TIMES_SEMIRING, result.as_dict(), expected)
+    assert all(0.0 < value <= 1.0 for value in result.as_dict().values())
+
+
+def test_top_k_min_plus_head_agrees_with_min_plus():
+    workload = weighted_four_cycle_workload(24, seed=9)
+    top3 = top_k_min_plus_semiring(3)
+    best = evaluate_faq(workload.query, workload.database, MIN_PLUS_SEMIRING,
+                        weight=workload.weight, weight_key=workload.weight_key)
+    ranked = evaluate_faq(
+        workload.query, workload.database, top3,
+        weight=lambda name, row: (workload.weight(name, row),),
+        weight_key=workload.weight_key + "-top3")
+    best_dict, ranked_dict = best.as_dict(), ranked.as_dict()
+    assert set(best_dict) == set(ranked_dict)
+    for key, costs in ranked_dict.items():
+        assert 1 <= len(costs) <= 3
+        assert list(costs) == sorted(costs)
+        assert math.isclose(costs[0], best_dict[key], rel_tol=1e-9)
+
+
+def test_top_k_min_plus_semiring_laws():
+    semiring = top_k_min_plus_semiring(2)
+    a, b, c = (1.0, 3.0), (2.0,), (0.5, 4.0)
+    assert semiring.add(a, semiring.zero) == a
+    assert semiring.multiply(a, semiring.one) == a
+    assert semiring.multiply(a, semiring.zero) == semiring.zero
+    assert semiring.add(semiring.add(a, b), c) == semiring.add(a, semiring.add(b, c))
+    # Distributivity: a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c)
+    assert semiring.multiply(a, semiring.add(b, c)) == \
+        semiring.add(semiring.multiply(a, b), semiring.multiply(a, c))
+    # Multiset semantics: ⊕ is not idempotent for k > 1.
+    assert not semiring.idempotent_add
+    assert semiring.add(a, a) == (1.0, 1.0)
+    assert top_k_min_plus_semiring(1).idempotent_add

@@ -19,7 +19,7 @@ from repro.panda import (
 )
 from repro.panda.executor import PandaExecutionError
 from repro.query import four_cycle_boolean, four_cycle_projected, triangle_query
-from repro.relational import Relation
+from repro.relational import Database, Relation
 from repro.stats import collect_statistics, statistics_for_query
 from repro.utils.varsets import varset
 
@@ -209,3 +209,32 @@ def test_adaptive_uses_all_four_ddrs(four_cycle, hard_instance):
     assert len(report.ddr_reports) == 4
     assert len(report.decompositions) == 2
     assert report.max_bag_size > 0
+
+
+def test_adaptive_regression_threshold_above_true_one_over_b(four_cycle):
+    """Frozen hypothesis counterexample: the dropped-answer soundness bug.
+
+    On this database the tightest DDR bound is ``B = 10^{log10 7} = 7`` and
+    the answer tuple's measure weight is exactly ``1/7``.  The seed computed
+    the truncation threshold as ``(1/10^{LP exponent}) * (1 - 1e-9)``; the
+    floating-point LP undershoots ``log10 7`` by ~1e-9, so the threshold
+    landed *above* the true ``1/7`` and the answer ``(0, 0)`` was silently
+    truncated out of the W-containing bags (seed-independent regression for
+    ``test_adaptive_panda_matches_bruteforce_on_random_four_cycles``).
+    """
+    database = Database([
+        Relation("R", ("a", "b"), [(0, 0)]),
+        Relation("S", ("a", "b"), [(0, 0)]),
+        Relation("T", ("a", "b"),
+                 [(0, 4), (5, 0), (0, 3), (0, 0), (3, 0), (2, 0), (0, 1)]),
+        Relation("U", ("a", "b"),
+                 [(1, 2), (0, 0), (2, 5), (0, 5), (0, 4), (4, 0), (4, 5),
+                  (0, 2), (1, 0), (5, 0)]),
+    ])
+    truth = evaluate_bruteforce(four_cycle, database)
+    assert truth.rows == frozenset({(0, 0)})
+    answer, report = evaluate_adaptive(four_cycle, database)
+    assert answer.rows == truth.rows
+    # Every bag of some decomposition must cover the body tuple (0,0,0,0).
+    assert any(all(report.bag_sizes[bag] >= 1 for bag in decomposition.bags)
+               for decomposition in report.decompositions)

@@ -6,9 +6,11 @@ from repro.relational import (
     BOOLEAN_SEMIRING,
     COUNTING_SEMIRING,
     MAX_MIN_SEMIRING,
+    MAX_TIMES_SEMIRING,
     MIN_PLUS_SEMIRING,
     AnnotatedRelation,
     Relation,
+    Semiring,
 )
 
 
@@ -16,7 +18,43 @@ def test_semiring_idempotence_flags():
     assert BOOLEAN_SEMIRING.idempotent_add
     assert MIN_PLUS_SEMIRING.idempotent_add
     assert MAX_MIN_SEMIRING.idempotent_add
+    assert MAX_TIMES_SEMIRING.idempotent_add
     assert not COUNTING_SEMIRING.idempotent_add
+
+
+def test_semirings_compare_by_name():
+    """Structurally identical, separately constructed semirings are equal.
+
+    The operator fields are lambdas, which never compare equal, so the
+    generated dataclass ``__eq__`` used to make two ``COUNTING_SEMIRING``
+    -equivalent instances unequal — and ``join`` rejected legitimate inputs.
+    """
+    clone = Semiring(name="counting", add=lambda a, b: a + b,
+                     multiply=lambda a, b: a * b, zero=0, one=1,
+                     idempotent_add=False)
+    assert clone == COUNTING_SEMIRING
+    assert hash(clone) == hash(COUNTING_SEMIRING)
+    assert clone != MIN_PLUS_SEMIRING
+    assert clone != "counting"
+
+
+def test_join_accepts_equivalent_semiring_instances():
+    clone = Semiring(name="counting", add=lambda a, b: a + b,
+                     multiply=lambda a, b: a * b, zero=0, one=1,
+                     idempotent_add=False)
+    r = AnnotatedRelation("R", ("x", "y"), {(1, "a"): 2}, COUNTING_SEMIRING)
+    s = AnnotatedRelation("S", ("y", "z"), {("a", 10): 5}, clone)
+    joined = r.join(s)
+    assert joined.annotation((1, "a", 10)) == 10
+    marginal = r.join(s.marginalize(["y"]))
+    assert marginal.annotation((1, "a")) == 10
+
+
+def test_join_rejects_different_semirings():
+    r = AnnotatedRelation("R", ("x",), {(1,): 2}, COUNTING_SEMIRING)
+    s = AnnotatedRelation("S", ("x",), {(1,): 2.0}, MIN_PLUS_SEMIRING)
+    with pytest.raises(ValueError):
+        r.join(s)
 
 
 def test_semiring_sum_and_product():

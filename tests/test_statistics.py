@@ -118,3 +118,48 @@ def test_validate_and_satisfies():
     unguarded = ConstraintSet(base=3)
     unguarded.add_cardinality("XY", 3)
     assert satisfies(database, query, unguarded)
+
+
+def test_empty_relation_statistics_record_true_zero():
+    """An empty atom must not report cardinality 1 / degree 1 (the seed's
+    ``max(1, ...)`` clamp inflated PANDA's size bound and hid guaranteed-empty
+    queries); clamping happens in log space only."""
+    from repro.relational import Database, Relation
+
+    query = four_cycle_projected()
+    database = Database([
+        Relation("R", ("a", "b"), []),
+        Relation("S", ("a", "b"), [(1, 2), (1, 3)]),
+        Relation("T", ("a", "b"), [(2, 1)]),
+        Relation("U", ("a", "b"), [(3, 1)]),
+    ])
+    statistics = collect_statistics(database, query, include_degrees=True)
+    by_guard = {c.guard: c for c in statistics.cardinality_constraints()}
+    assert by_guard["R"].bound == 0
+    assert by_guard["S"].bound == 2
+    # Degrees of the empty guard are 0 as well.
+    empty_degrees = [c for c in statistics.degree_constraints
+                     if c.guard == "R" and not c.is_cardinality]
+    assert empty_degrees and all(c.bound == 0 for c in empty_degrees)
+    # The log-space clamp keeps the polymatroid LP well defined.
+    assert statistics.exponent_of(by_guard["R"]) == 0.0
+    assert not validate(database, query, statistics)
+
+
+def test_empty_atom_short_circuits_adaptive_panda():
+    from repro.panda import evaluate_adaptive
+    from repro.relational import Database, Relation
+
+    query = four_cycle_projected()
+    database = Database([
+        Relation("R", ("a", "b"), []),
+        Relation("S", ("a", "b"), [(1, 2)]),
+        Relation("T", ("a", "b"), [(2, 3)]),
+        Relation("U", ("a", "b"), [(3, 1)]),
+    ])
+    answer, report = evaluate_adaptive(query, database)
+    assert len(answer) == 0
+    assert answer.columns == ("X", "Y")
+    # No DDR was evaluated: not a single proof step executed.
+    assert report.ddr_reports == []
+    assert report.bag_sizes and all(size == 0 for size in report.bag_sizes.values())
