@@ -9,6 +9,12 @@ where ``x`` is a fractional edge cover of the free variables by the atoms.
 This module computes the optimal cover directly (a much smaller LP than the
 polymatroid program) and exposes both the cover and the bound; the test suite
 checks that it agrees with the polymatroid LP, as Theorem 4.1 promises.
+
+Cover programs are memoized per (atom structure, sizes, cover variables):
+cardinality estimation loops call the AGM bound for the same query shape over
+and over, and on a hit the compiled sparse matrices are re-solved directly
+(``edge_cover_builds`` / ``edge_cover_hits`` in
+:func:`repro.lp.model.lp_cache_stats`).
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.lp.model import LinearProgram
+from repro.lp.model import BoundedCache, LinearProgram
 from repro.query.cq import ConjunctiveQuery
 from repro.stats.constraints import ConstraintSet, log_with_base
 
@@ -56,6 +62,35 @@ def _atom_sizes(query: ConjunctiveQuery, statistics: ConstraintSet) -> dict[int,
     return sizes
 
 
+#: Compiled cover programs keyed by (per-atom varsets and sizes, cover set, base).
+_COVER_CACHE = BoundedCache("edge_cover", 128)
+
+
+def _cover_program(query: ConjunctiveQuery, sizes: Mapping[int, float],
+                   cover_variables: frozenset[str], base: float) -> LinearProgram:
+    """Build (or fetch) the compiled fractional-edge-cover LP."""
+    key = (tuple((tuple(sorted(atom.varset)), sizes[index])
+                 for index, atom in enumerate(query.atoms)),
+           tuple(sorted(cover_variables)), base)
+    cached = _COVER_CACHE.lookup(key)
+    if cached is not None:
+        return cached
+    program = LinearProgram("fractional-edge-cover")
+    objective: dict[str, float] = {}
+    for index, atom in enumerate(query.atoms):
+        name = f"x{index}"
+        program.add_variable(name, lower=0.0)
+        objective[name] = log_with_base(sizes[index], base)
+    for variable in sorted(cover_variables):
+        row = {f"x{index}": 1.0
+               for index, atom in enumerate(query.atoms) if variable in atom.varset}
+        if not row:
+            raise ValueError(f"variable {variable!r} is not covered by any atom")
+        program.add_ge(row, 1.0)
+    program.set_objective(objective, maximize=False)
+    return _COVER_CACHE.store(key, program)
+
+
 def fractional_edge_cover(query: ConjunctiveQuery, statistics: ConstraintSet,
                           cover_variables: frozenset[str] | None = None) -> EdgeCoverResult:
     """Minimise ``Σ x_R log_N(N_R)`` over fractional covers of ``cover_variables``.
@@ -66,19 +101,8 @@ def fractional_edge_cover(query: ConjunctiveQuery, statistics: ConstraintSet,
     if cover_variables is None:
         cover_variables = query.free_variables
     sizes = _atom_sizes(query, statistics)
-    program = LinearProgram("fractional-edge-cover")
-    objective: dict[str, float] = {}
-    for index, atom in enumerate(query.atoms):
-        name = f"x{index}"
-        program.add_variable(name, lower=0.0)
-        objective[name] = log_with_base(sizes[index], statistics.base)
-    for variable in sorted(cover_variables):
-        row = {f"x{index}": 1.0
-               for index, atom in enumerate(query.atoms) if variable in atom.varset}
-        if not row:
-            raise ValueError(f"variable {variable!r} is not covered by any atom")
-        program.add_ge(row, 1.0)
-    program.set_objective(objective, maximize=False)
+    program = _cover_program(query, sizes, frozenset(cover_variables),
+                             statistics.base)
     solution = program.solve()
     weights = {index: solution.value(f"x{index}") for index in range(len(query.atoms))}
     exponent = solution.objective

@@ -9,6 +9,12 @@ The heavy lifting lives in :mod:`repro.bounds.polymatroid`; this module adds
 the data-facing helpers: measuring norms on a database, building norm-enriched
 statistics and comparing the resulting bound with the degree-only bound (the
 comparison reproduced by experiment E7).
+
+Because the polymatroid-region cache keys on the statistics' *content*
+fingerprint, the degree-only :class:`ConstraintSet` rebuilt by
+:func:`compare_with_and_without_norms` on every call still maps to one shared
+compiled region — repeated E7-style comparisons re-solve two cached regions
+(with and without the norm rows) instead of rebuilding four LPs.
 """
 
 from __future__ import annotations
@@ -66,7 +72,12 @@ def lp_norm_bound(query: ConjunctiveQuery, statistics: ConstraintSet) -> BoundRe
 
 def compare_with_and_without_norms(query: ConjunctiveQuery,
                                    statistics: ConstraintSet) -> NormBoundComparison:
-    """Compare the bound using all constraints vs. dropping the norm constraints."""
+    """Compare the bound using all constraints vs. dropping the norm constraints.
+
+    Both bounds hit the shared polymatroid-region cache: the degree-only
+    statistics are reconstructed here, but their fingerprint matches any
+    previous call with the same content, so only the first comparison builds.
+    """
     degree_only = ConstraintSet(statistics.degree_constraints, base=statistics.base)
     return NormBoundComparison(
         without_norms=polymatroid_bound(query, degree_only),

@@ -14,24 +14,54 @@ constrained by the elemental Shannon inequalities and the statistics rows
 ``h(Y|X) <= log_N N_{Y|X}`` (degree constraints) or
 ``h(X)/k + h(Y|X) <= log_N N_{Y|X,k}`` (ℓk-norm constraints, Eq. (73)).
 Everything is expressed on the paper's log_N scale.
+
+The feasible region ``Γ_n ∧ S`` depends only on the ground set and the
+statistics, not on the objective, so :meth:`PolymatroidProgram.shared`
+memoizes fully-built programs keyed by ``(variables, statistics
+fingerprint)``: ``fhtw`` solving one LP per bag, ``subw`` one per bag
+selector and repeated bound queries all re-solve one compiled sparse region
+instead of regenerating the O(n²·2ⁿ) elemental family and rebuilding the
+matrices.  The min-target rows of a DDR bound are stacked on the compiled
+region per solve (they never mutate it), so CQ and DDR bounds share the same
+cache entry.  Build/hit counters land in
+:func:`repro.lp.model.lp_cache_stats` under ``region_builds`` /
+``region_hits``.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.entropy.elemental import elemental_inequalities
 from repro.entropy.setfunc import SetFunction
-from repro.lp.model import LinearProgram, LPSolution
+from repro.lp.model import (
+    BoundedCache,
+    LinearProgram,
+    LPSolution,
+    lp_caching_enabled,
+    register_lp_cache,
+)
 from repro.query.cq import ConjunctiveQuery
 from repro.stats.constraints import ConstraintSet, DegreeConstraint, LpNormConstraint
 from repro.utils.varsets import format_varset, powerset
 
+#: ``h{…}`` variable names are constructed for every subset row of every
+#: constraint of every program; interning them per subset makes the dict
+#: operations inside the LP builder pointer comparisons on repeat visits.
+_NAME_CACHE: dict[frozenset[str], str] = {}
+
+register_lp_cache(_NAME_CACHE.clear)
+
 
 def entropy_variable_name(subset: frozenset[str]) -> str:
-    """The LP variable name for ``h(subset)``."""
-    return "h" + format_varset(subset)
+    """The (interned) LP variable name for ``h(subset)``."""
+    cached = _NAME_CACHE.get(subset)
+    if cached is None:
+        cached = sys.intern("h" + format_varset(subset))
+        _NAME_CACHE[subset] = cached
+    return cached
 
 
 @dataclass
@@ -54,7 +84,12 @@ class BoundResult:
 
 
 class PolymatroidProgram:
-    """Shared construction of the ``h |= S, Γ_n`` feasible region."""
+    """Shared construction of the ``h |= S, Γ_n`` feasible region.
+
+    Solving never mutates the region: objectives are swapped per solve and
+    the DDR min-targets ride along as ephemeral rows, so one instance can be
+    shared between arbitrarily many bound queries (see :meth:`shared`).
+    """
 
     def __init__(self, variables: Iterable[str], statistics: ConstraintSet,
                  name: str = "polymatroid") -> None:
@@ -66,6 +101,34 @@ class PolymatroidProgram:
         self._declare_entropy_variables()
         self._add_shannon_constraints()
         self._add_statistics_constraints()
+        # Every bound query is a maximization; record the sense up front so
+        # summaries stay truthful even though the per-solve objectives are
+        # passed through ``resolve`` without touching the program.
+        self.program.set_objective({}, maximize=True)
+
+    # --------------------------------------------------------------- sharing
+    @classmethod
+    def shared(cls, variables: Iterable[str],
+               statistics: ConstraintSet) -> "PolymatroidProgram":
+        """A region-cache lookup: reuse a compiled ``Γ_n ∧ S`` program.
+
+        Keyed by the ground set and the statistics' content fingerprint, so
+        any two callers with structurally identical inputs — the per-bag LPs
+        of ``fhtw``, the per-selector LPs of ``subw``, repeated bound queries
+        from the optimizer — share one compiled program.  The program is
+        always named ``polymatroid-region``: per-caller names would be
+        misleading, since a cache hit serves whoever asked first.  With LP
+        caching disabled this degenerates to a fresh build.
+        """
+        ground = frozenset(variables) | statistics.variables
+        if not lp_caching_enabled():
+            return cls(ground, statistics, name="polymatroid-region")
+        key = (ground, statistics.fingerprint())
+        cached = _REGION_CACHE.lookup(key)
+        if cached is not None:
+            return cached
+        return _REGION_CACHE.store(
+            key, cls(ground, statistics, name="polymatroid-region"))
 
     # ------------------------------------------------------------- building
     def _declare_entropy_variables(self) -> None:
@@ -108,19 +171,28 @@ class PolymatroidProgram:
     def maximize(self, objective: dict[frozenset[str], float]) -> LPSolution:
         coefficients = {entropy_variable_name(subset): weight
                         for subset, weight in objective.items() if subset}
-        self.program.set_objective(coefficients, maximize=True)
-        return self.program.solve()
+        return self.program.resolve(objective=coefficients, maximize=True)
 
     def maximize_single(self, subset: frozenset[str]) -> LPSolution:
         return self.maximize({subset: 1.0})
 
+    def maximize_each(self, subsets: Sequence[frozenset[str]]) -> list[LPSolution]:
+        """One ``max h(B)`` solve per subset against the compiled region."""
+        objectives = [{entropy_variable_name(subset): 1.0} for subset in subsets]
+        return self.program.solve_many(objectives, maximize=True)
+
     def maximize_min(self, subsets: Sequence[frozenset[str]]) -> LPSolution:
-        """``max min_B h(B)`` via the auxiliary variable ``t`` of Eq. (45)."""
-        self.program.add_variable("t", lower=None)
-        for subset in subsets:
-            self.program.add_le({"t": 1.0, entropy_variable_name(subset): -1.0}, 0.0)
-        self.program.set_objective({"t": 1.0}, maximize=True)
-        return self.program.solve()
+        """``max min_B h(B)`` via the auxiliary variable ``t`` of Eq. (45).
+
+        ``t`` and its ``t <= h(B)`` rows are ephemeral: they are stacked on
+        the compiled region for this solve only, so a shared program can
+        serve every selector of a ``subw`` computation in turn.
+        """
+        rows = [({"t": 1.0, entropy_variable_name(subset): -1.0}, 0.0)
+                for subset in subsets]
+        return self.program.resolve(
+            objective={"t": 1.0}, maximize=True,
+            extra_variables={"t": (None, None)}, extra_le=rows)
 
     def solution_polymatroid(self, solution: LPSolution) -> SetFunction:
         values = {}
@@ -128,6 +200,10 @@ class PolymatroidProgram:
             if subset:
                 values[subset] = solution.value(entropy_variable_name(subset))
         return SetFunction(self.variables, values)
+
+
+#: Compiled ``Γ_n ∧ S`` regions keyed by (ground set, statistics fingerprint).
+_REGION_CACHE = BoundedCache("region", 64)
 
 
 def polymatroid_bound(query: ConjunctiveQuery | Iterable[str],
@@ -151,7 +227,7 @@ def polymatroid_bound(query: ConjunctiveQuery | Iterable[str],
         empty = SetFunction(variables | statistics.variables, {})
         return BoundResult(exponent=0.0, size_bound=1.0, polymatroid=empty,
                            lp_summary="boolean query: output size 1")
-    builder = PolymatroidProgram(variables, statistics, name="polymatroid-bound")
+    builder = PolymatroidProgram.shared(variables, statistics)
     solution = builder.maximize_single(target)
     exponent = solution.objective
     return BoundResult(
@@ -168,13 +244,14 @@ def ddr_polymatroid_bound(targets: Sequence[Iterable[str]],
     """The polymatroid bound of a DDR with the given head targets (Theorem 5.1).
 
     ``targets`` is the list of bag variable sets in one bag selector; the
-    bound is ``max_h min_B h(B)``.
+    bound is ``max_h min_B h(B)``.  Every selector of the same query re-solves
+    the same shared ``Γ_n ∧ S`` region, appending only its min-target rows.
     """
     target_sets = [frozenset(target) for target in targets]
     if not target_sets:
         raise ValueError("a DDR needs at least one head target")
     ground = frozenset(variables) | frozenset().union(*target_sets)
-    builder = PolymatroidProgram(ground, statistics, name="ddr-bound")
+    builder = PolymatroidProgram.shared(ground, statistics)
     solution = builder.maximize_min(target_sets)
     exponent = solution.objective
     return BoundResult(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator
 
+from repro.lp.model import BoundedCache
 from repro.utils.varsets import format_varset, powerset
 
 
@@ -120,10 +121,26 @@ def elemental_submodularities(variables: Iterable[str]) -> Iterator[ElementalIne
             yield submodularity({first}, {second}, context)
 
 
+#: The elemental family is O(n²·2ⁿ) to generate and every polymatroid-bound
+#: LP over the same ground set needs the identical list, so generation is
+#: memoized per variable set.  :class:`ElementalInequality` is frozen, which
+#: makes sharing the instances safe; callers get a fresh list shell.
+_ELEMENTAL_CACHE = BoundedCache("elemental", 32)
+
+
 def elemental_inequalities(variables: Iterable[str]) -> list[ElementalInequality]:
-    """The full list of elemental Shannon inequalities over ``variables``."""
-    result = list(elemental_monotonicities(variables))
-    result.extend(elemental_submodularities(variables))
+    """The full list of elemental Shannon inequalities over ``variables``.
+
+    Memoized per variable set (observable through the ``elemental_builds`` /
+    ``elemental_hits`` counters of :func:`repro.lp.model.lp_cache_stats`).
+    """
+    ground = frozenset(variables)
+    cached = _ELEMENTAL_CACHE.lookup(ground)
+    if cached is not None:
+        return list(cached)
+    result = list(elemental_monotonicities(ground))
+    result.extend(elemental_submodularities(ground))
+    _ELEMENTAL_CACHE.store(ground, tuple(result))
     return result
 
 

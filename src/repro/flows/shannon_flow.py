@@ -19,8 +19,19 @@ The solver here works in two phases:
    exact ``σ`` with the exact rational simplex, then verify the identity
    coefficient-by-coefficient.
 
-The result is an exact certificate whose integral form feeds the
+The result is an exact certificate whose identity form feeds the
 proof-sequence construction.
+
+Both phases are deterministic in ``(targets, ground set, statistics)``, and
+adaptive PANDA re-derives the same certificates on every evaluation of the
+same query shape (one per bag selector, per run), so verified certificates
+are memoized on exactly that key — the statistics participate through their
+content fingerprint.  A hit skips the dual-LP row construction (which touches
+every subset × every elemental inequality), the HiGHS solve *and* the exact
+rational witness recovery; the ``flow_builds`` / ``flow_hits`` counters of
+:func:`repro.lp.model.lp_cache_stats` make the reuse observable.  The dual
+LP itself also benefits from the compiled sparse substrate and the memoized
+elemental family.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.entropy.elemental import ElementalInequality, elemental_inequalities
 from repro.flows.proof_steps import Term
 from repro.lp.exact import ExactLPError, solve_min_with_inequalities
-from repro.lp.model import LinearProgram
+from repro.lp.model import BoundedCache, LinearProgram, lp_caching_enabled
 from repro.stats.constraints import ConstraintSet, DegreeConstraint
 from repro.utils.rationals import as_fraction, common_denominator
 from repro.utils.varsets import format_varset, powerset
@@ -226,6 +237,20 @@ class IntegralShannonFlow:
 # solving for a flow
 # ---------------------------------------------------------------------------
 
+#: Verified certificates keyed by (sorted targets, ground set, statistics
+#: fingerprint).  Hits return a fresh shell over the shared (immutable-in-
+#: practice) coefficient dicts' copies, so callers can mutate their result.
+_FLOW_CACHE = BoundedCache("flow", 64)
+
+
+def _copy_flow(flow: ShannonFlowInequality,
+               statistics: ConstraintSet) -> ShannonFlowInequality:
+    return ShannonFlowInequality(targets=dict(flow.targets),
+                                 sources=dict(flow.sources),
+                                 witness=dict(flow.witness),
+                                 statistics=statistics)
+
+
 def find_shannon_flow(targets: Sequence[Iterable[str]],
                       statistics: ConstraintSet,
                       variables: Iterable[str] = ()) -> ShannonFlowInequality:
@@ -233,7 +258,9 @@ def find_shannon_flow(targets: Sequence[Iterable[str]],
 
     ``targets`` are the bag variable sets of one bag selector.  The returned
     certificate is exact (verified), and its bound exponent equals the DDR's
-    polymatroid bound (Lemma 6.1 / strong duality).
+    polymatroid bound (Lemma 6.1 / strong duality).  Re-solving the same
+    (targets, statistics) pair — as adaptive PANDA does on every run over the
+    same query shape — returns a memoized verified certificate.
 
     Only degree constraints participate: the proof-sequence machinery of
     Section 7 (and hence the PANDA executor) is defined for degree
@@ -251,6 +278,15 @@ def find_shannon_flow(targets: Sequence[Iterable[str]],
     if not constraints:
         raise ShannonFlowError("the statistics contain no degree constraints")
     ground = frozenset(variables) | frozenset().union(*target_sets) | statistics.variables
+
+    cache_key = None
+    if lp_caching_enabled():
+        cache_key = (tuple(sorted(tuple(sorted(target)) for target in target_sets)),
+                     ground, statistics.fingerprint())
+        cached = _FLOW_CACHE.lookup(cache_key)
+        if cached is not None:
+            return _copy_flow(cached, statistics)
+
     elementals = elemental_inequalities(ground)
     subsets = [subset for subset in powerset(ground) if subset]
 
@@ -300,6 +336,8 @@ def find_shannon_flow(targets: Sequence[Iterable[str]],
                                  statistics=statistics)
     if not flow.verify():
         raise ShannonFlowError("failed to verify the reconstructed Shannon-flow certificate")
+    if cache_key is not None:
+        _FLOW_CACHE.store(cache_key, _copy_flow(flow, statistics))
     return flow
 
 

@@ -1,10 +1,21 @@
-"""Linear programming substrate: named LPs over HiGHS plus an exact rational simplex."""
+"""Linear programming substrate: compiled sparse named LPs over HiGHS plus an
+exact rational simplex (the semantics reference for the numeric path)."""
 
 from repro.lp.model import (
+    BoundedCache,
+    CompiledConstraints,
     InfeasibleProgramError,
     LinearProgram,
     LPSolution,
     UnboundedProgramError,
+    clear_lp_caches,
+    count_lp_event,
+    lp_cache_delta,
+    lp_cache_stats,
+    lp_caching_disabled,
+    lp_caching_enabled,
+    register_lp_cache,
+    reset_lp_cache_stats,
     solve_max,
 )
 from repro.lp.exact import (
@@ -17,9 +28,19 @@ from repro.lp.exact import (
 __all__ = [
     "LinearProgram",
     "LPSolution",
+    "BoundedCache",
+    "CompiledConstraints",
     "InfeasibleProgramError",
     "UnboundedProgramError",
     "solve_max",
+    "lp_cache_stats",
+    "lp_cache_delta",
+    "reset_lp_cache_stats",
+    "lp_caching_disabled",
+    "lp_caching_enabled",
+    "clear_lp_caches",
+    "register_lp_cache",
+    "count_lp_event",
     "ExactLPError",
     "ExactSolution",
     "solve_standard_form",

@@ -12,9 +12,10 @@ The cost of a plan is the worst-case size of its largest intermediate relation
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.decompositions.enumerate import enumerate_tree_decompositions
+from repro.lp.model import lp_cache_delta, lp_cache_stats
 from repro.query.cq import ConjunctiveQuery
 from repro.query.hypergraph import is_acyclic, is_free_connex
 from repro.stats.constraints import ConstraintSet
@@ -32,6 +33,10 @@ class CostEstimate:
     is_free_connex: bool
     fhtw: FhtwResult
     subw: SubwResult
+    #: LP-layer cache events during this estimate: ``fhtw`` and ``subw`` key
+    #: the polymatroid-region cache identically, so one compiled region
+    #: serves both widths (``region_builds`` ≤ 1 on a cold cache).
+    lp_cache_events: dict[str, int] = field(default_factory=dict)
 
     @property
     def fhtw_exponent(self) -> float:
@@ -54,19 +59,32 @@ class CostEstimate:
         lines.append(f"  subw(Q,S) = {self.subw.width:.4g}")
         if self.adaptive_gain > 1e-9:
             lines.append(f"  adaptive plans win by N^{self.adaptive_gain:.4g}")
+        if self.lp_cache_events:
+            events = ", ".join(f"{key}={value}" for key, value
+                               in sorted(self.lp_cache_events.items()))
+            lines.append(f"  lp caches: {events}")
         return "\n".join(lines)
 
 
 def estimate_costs(query: ConjunctiveQuery, statistics: ConstraintSet,
                    max_variables: int = 9) -> CostEstimate:
-    """Compute every cost figure the planner needs, sharing the TD enumeration."""
+    """Compute every cost figure the planner needs.
+
+    The TD enumeration is shared between the two width computations, and so
+    is the compiled ``Γ_n ∧ S`` feasible region: the per-bag LPs of ``fhtw``
+    and the per-selector LPs of ``subw`` re-solve one cached program.
+    """
     decompositions = enumerate_tree_decompositions(query, max_variables=max_variables)
     atom_sets = [atom.varset for atom in query.atoms]
+    before = lp_cache_stats()
+    fhtw = fractional_hypertree_width(query, statistics, decompositions=decompositions)
+    subw = submodular_width(query, statistics, decompositions=decompositions)
     return CostEstimate(
         query=query,
         statistics=statistics,
         is_acyclic=is_acyclic(atom_sets),
         is_free_connex=is_free_connex(atom_sets, query.free_variables),
-        fhtw=fractional_hypertree_width(query, statistics, decompositions=decompositions),
-        subw=submodular_width(query, statistics, decompositions=decompositions),
+        fhtw=fhtw,
+        subw=subw,
+        lp_cache_events=lp_cache_delta(before),
     )

@@ -16,6 +16,7 @@ LP, where ``N`` is the reference input size stored on the
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -215,6 +216,33 @@ class ConstraintSet:
 
     def constraints_guarded_by(self, relation: str) -> list[DegreeConstraint | LpNormConstraint]:
         return [c for c in self if c.guard == relation]
+
+    # ----------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """A content fingerprint of the statistics (order-insensitive).
+
+        Two :class:`ConstraintSet` objects with the same reference size and
+        the same multiset of constraints produce the same fingerprint; the LP
+        substrate keys its shared polymatroid-region and Shannon-flow caches
+        on it, so structurally identical statistics reuse compiled feasible
+        regions no matter which object carries them.  Mutating the set (via
+        :meth:`add`) changes the fingerprint.
+        """
+        descriptors = []
+        for constraint in self:
+            if isinstance(constraint, DegreeConstraint):
+                descriptors.append(("deg", tuple(sorted(constraint.target)),
+                                    tuple(sorted(constraint.given)),
+                                    repr(constraint.bound), constraint.guard or ""))
+            else:
+                descriptors.append(("lpnorm", tuple(sorted(constraint.target)),
+                                    tuple(sorted(constraint.given)),
+                                    repr(constraint.order),
+                                    repr(constraint.bound), constraint.guard or ""))
+        digest = hashlib.sha1()
+        digest.update(repr(self.base).encode())
+        digest.update(repr(sorted(descriptors)).encode())
+        return digest.hexdigest()
 
     # --------------------------------------------------------------- scaling
     def exponent_of(self, constraint: DegreeConstraint | LpNormConstraint) -> float:

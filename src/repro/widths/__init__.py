@@ -11,6 +11,7 @@ from repro.widths.omega import (
     OmegaWidthReport,
     crossover_omega,
     fmm_beats_combinatorial_four_cycle,
+    four_cycle_combinatorial_subw_via_lp,
     four_cycle_width_report,
     gamma,
     mm_exponent,
@@ -32,6 +33,7 @@ __all__ = [
     "gamma",
     "omega_submodular_width_four_cycle",
     "fmm_beats_combinatorial_four_cycle",
+    "four_cycle_combinatorial_subw_via_lp",
     "four_cycle_width_report",
     "crossover_omega",
     "OmegaWidthReport",

@@ -7,6 +7,13 @@
 The classical fractional hypertree width of Grohe and Marx is the special case
 of identical cardinality constraints and Boolean queries; the definition here
 (following the paper) works for any statistics and any CQ.
+
+Every bag bound is a ``max h(B)`` solve over the same feasible region
+``Γ_n ∧ S``, so the computation fetches one shared compiled
+:class:`~repro.bounds.polymatroid.PolymatroidProgram` (see
+``PolymatroidProgram.shared``) and solves one objective per bag against it —
+and because ``subw`` keys the region cache identically, a planner that
+computes both widths builds the region once for the pair.
 """
 
 from __future__ import annotations
@@ -68,31 +75,36 @@ class FhtwResult:
 
 def decomposition_cost(decomposition: TreeDecomposition,
                        statistics: ConstraintSet,
-                       query: ConjunctiveQuery | None = None) -> DecompositionCost:
-    """``cost(T, S)`` from Eq. (21): the largest polymatroid bound over the bags."""
+                       query: ConjunctiveQuery | None = None,
+                       builder: PolymatroidProgram | None = None) -> DecompositionCost:
+    """``cost(T, S)`` from Eq. (21): the largest polymatroid bound over the bags.
+
+    All bag bounds are solved against one shared compiled region; pass
+    ``builder`` to reuse a region the caller already holds.
+    """
     variables = query.variables if query is not None else decomposition.variables
+    if builder is None:
+        builder = PolymatroidProgram.shared(variables, statistics)
     result = DecompositionCost(decomposition=decomposition)
-    for bag in decomposition.bags:
-        result.bag_exponents[bag] = _bag_bound(bag, variables, statistics)
+    bags = list(decomposition.bags)
+    for bag, solution in zip(bags, builder.maximize_each(bags)):
+        result.bag_exponents[bag] = solution.objective
     return result
-
-
-def _bag_bound(bag: frozenset[str], variables: frozenset[str],
-               statistics: ConstraintSet) -> float:
-    """The polymatroid bound of ``h(bag)`` over polymatroids on all query variables."""
-    builder = PolymatroidProgram(variables, statistics, name="bag-bound")
-    solution = builder.maximize_single(bag)
-    return solution.objective
 
 
 def fractional_hypertree_width(query: ConjunctiveQuery, statistics: ConstraintSet,
                                decompositions: Sequence[TreeDecomposition] | None = None,
                                max_variables: int = 9) -> FhtwResult:
-    """Compute ``fhtw(Q, S)`` by enumerating free-connex tree decompositions."""
+    """Compute ``fhtw(Q, S)`` by enumerating free-connex tree decompositions.
+
+    One shared ``Γ_n ∧ S`` region serves every bag of every decomposition.
+    """
     if decompositions is None:
         decompositions = enumerate_tree_decompositions(query, max_variables=max_variables)
     if not decompositions:
         raise ValueError("the query admits no free-connex tree decomposition")
-    costs = [decomposition_cost(td, statistics, query=query) for td in decompositions]
+    builder = PolymatroidProgram.shared(query.variables, statistics)
+    costs = [decomposition_cost(td, statistics, query=query, builder=builder)
+             for td in decompositions]
     best = min(costs, key=lambda c: c.cost)
     return FhtwResult(width=best.cost, best=best, all_costs=costs)

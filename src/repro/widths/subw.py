@@ -12,6 +12,12 @@ Each inner max-min is the polymatroid bound of a disjunctive datalog rule
 inequality gives ``subw(Q, S) <= fhtw(Q, S)`` for every query and statistics,
 and the 4-cycle under identical cardinalities is the paper's example of a
 strict gap (3/2 vs 2).
+
+All the selector LPs share the same feasible region ``Γ_n ∧ S``; only the
+min-target rows differ.  The DDR bound therefore re-solves one compiled
+shared :class:`~repro.bounds.polymatroid.PolymatroidProgram` per selector
+(the selector's rows are stacked ephemerally), which is where the
+``region_hits`` counted by :func:`repro.lp.model.lp_cache_stats` come from.
 """
 
 from __future__ import annotations
@@ -67,7 +73,7 @@ class SubwResult:
 def submodular_width(query: ConjunctiveQuery, statistics: ConstraintSet,
                      decompositions: Sequence[TreeDecomposition] | None = None,
                      max_variables: int = 9) -> SubwResult:
-    """Compute ``subw(Q, S)`` by solving one DDR-bound LP per bag selector."""
+    """Compute ``subw(Q, S)``: one objective per bag selector, one shared region."""
     if decompositions is None:
         decompositions = enumerate_tree_decompositions(query, max_variables=max_variables)
     decompositions = list(decompositions)

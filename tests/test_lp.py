@@ -1,4 +1,4 @@
-"""Unit tests for the LP front end and the exact rational simplex."""
+"""Unit tests for the compiled LP front end and the exact rational simplex."""
 
 from fractions import Fraction
 
@@ -9,6 +9,7 @@ from repro.lp import (
     InfeasibleProgramError,
     LinearProgram,
     UnboundedProgramError,
+    lp_cache_stats,
     solve_max,
     solve_min_with_inequalities,
     solve_standard_form,
@@ -61,6 +62,176 @@ def test_empty_program_and_describe():
 def test_solve_max_helper():
     solution = solve_max({"x": 1.0}, [({"x": 2.0}, 3.0)])
     assert solution.objective == pytest.approx(1.5)
+
+
+# ---------------------------------------------------------------------------
+# the compiled substrate
+# ---------------------------------------------------------------------------
+
+def test_add_variable_redeclaration_intersects_bounds():
+    # Regression: re-declaring a variable used to be silently ignored, so a
+    # later, tighter declaration had no effect on the solve.
+    program = LinearProgram("bounds")
+    program.add_variable("x", lower=0.0, upper=5.0)
+    program.add_variable("x", lower=3.0)
+    assert program.variable_bounds("x") == (3.0, 5.0)
+    program.set_objective({"x": 1.0}, maximize=False)
+    assert program.solve().objective == pytest.approx(3.0)
+
+    program.add_variable("x", upper=4.0)
+    assert program.variable_bounds("x") == (3.0, 4.0)
+    program.set_objective({"x": 1.0}, maximize=True)
+    assert program.solve().objective == pytest.approx(4.0)
+
+
+def test_add_variable_conflicting_bounds_raise():
+    program = LinearProgram("conflict")
+    program.add_variable("x", lower=0.0, upper=2.0)
+    with pytest.raises(InfeasibleProgramError):
+        program.add_variable("x", lower=3.0)
+
+
+def test_add_variable_none_bounds_do_not_tighten():
+    program = LinearProgram("none-bounds")
+    program.add_variable("t", lower=None)
+    program.add_variable("t", lower=None, upper=None)
+    assert program.variable_bounds("t") == (None, None)
+
+
+def test_duplicate_constraint_names_rejected():
+    # Names address RHS overrides; reusing one would make them ambiguous.
+    program = LinearProgram("names")
+    program.add_le({"x": 1.0}, 3.0, name="cap")
+    with pytest.raises(ValueError):
+        program.add_le({"y": 1.0}, 7.0, name="cap")
+    with pytest.raises(ValueError):
+        program.add_ge({"y": 1.0}, 1.0, name="cap")
+    with pytest.raises(ValueError):
+        program.add_eq({"y": 1.0}, 1.0, name="cap")
+
+
+def test_compile_dedupes_identical_rows():
+    program = LinearProgram("dupes")
+    program.add_le({"x": 1.0, "y": 1.0}, 4.0)
+    program.add_le({"y": 1.0, "x": 1.0}, 4.0)   # identical, different key order
+    program.add_le({"x": 1.0, "y": 1.0}, 3.0)   # same row, tighter rhs
+    program.add_eq({"x": 1.0}, 1.0)
+    program.add_eq({"x": 1.0}, 1.0)             # identical equality
+    compiled = program.compile()
+    assert compiled.dropped_duplicates == 3
+    assert compiled.a_ub.shape[0] == 1
+    assert compiled.b_ub[0] == pytest.approx(3.0)  # tightest rhs survives
+    assert compiled.a_eq.shape[0] == 1
+    program.set_objective({"x": 1.0, "y": 1.0}, maximize=True)
+    assert program.solve().objective == pytest.approx(3.0)
+    assert "duplicate rows dropped" in program.describe()
+
+
+def test_solve_many_reuses_compiled_matrices():
+    program = LinearProgram("many")
+    program.add_le({"x": 1.0, "y": 1.0}, 4.0)
+    program.add_le({"x": 1.0}, 3.0)
+    before = lp_cache_stats()
+    solutions = program.solve_many([{"x": 1.0}, {"y": 1.0}, {"x": 1.0, "y": 2.0}],
+                                   maximize=True)
+    after = lp_cache_stats()
+    assert [s.objective for s in solutions] == pytest.approx([3.0, 4.0, 8.0])
+    assert after.get("compile_builds", 0) - before.get("compile_builds", 0) == 1
+    assert after.get("compile_hits", 0) - before.get("compile_hits", 0) >= 3
+
+
+def test_repeated_solves_memoize_the_optimum():
+    program = LinearProgram("memo")
+    program.add_le({"x": 1.0}, 3.0)
+    program.set_objective({"x": 1.0}, maximize=True)
+    first = program.solve()
+    before = lp_cache_stats()
+    second = program.solve()
+    after = lp_cache_stats()
+    assert second.objective == first.objective
+    assert after.get("solution_hits", 0) - before.get("solution_hits", 0) == 1
+    # memoized results are independent copies
+    second.values["x"] = 99.0
+    assert program.solve().value("x") == pytest.approx(3.0)
+    # structural mutation invalidates the memo
+    program.add_le({"x": 1.0}, 2.0)
+    assert program.solve().objective == pytest.approx(2.0)
+
+
+def test_structural_change_invalidates_compiled_matrices():
+    program = LinearProgram("invalidate")
+    program.add_le({"x": 1.0}, 3.0)
+    program.set_objective({"x": 1.0}, maximize=True)
+    assert program.solve().objective == pytest.approx(3.0)
+    first = program.fingerprint()
+    program.add_le({"x": 1.0}, 2.0)
+    assert program.solve().objective == pytest.approx(2.0)
+    assert program.fingerprint() != first
+
+
+def test_resolve_rhs_updates_are_per_solve():
+    program = LinearProgram("rhs")
+    program.add_le({"x": 1.0}, 3.0, name="cap")
+    program.set_objective({"x": 1.0}, maximize=True)
+    assert program.resolve(rhs_updates={"cap": 5.0}).objective == pytest.approx(5.0)
+    # the override did not stick
+    assert program.solve().objective == pytest.approx(3.0)
+    with pytest.raises(KeyError):
+        program.resolve(rhs_updates={"missing": 1.0})
+
+
+def test_resolve_rhs_updates_respect_dedup_siblings():
+    # Relaxing one of two deduplicated rows must keep the sibling enforced.
+    program = LinearProgram("dedup-rhs")
+    program.add_le({"x": 1.0}, 4.0, name="a")
+    program.add_le({"x": 1.0}, 3.0, name="b")  # deduped into one row
+    program.set_objective({"x": 1.0}, maximize=True)
+    assert program.resolve(rhs_updates={"a": 5.0}).objective == pytest.approx(3.0)
+    assert program.resolve(rhs_updates={"b": 5.0}).objective == pytest.approx(4.0)
+    assert program.resolve(rhs_updates={"a": 5.0, "b": 6.0}).objective \
+        == pytest.approx(5.0)
+    assert program.resolve(rhs_updates={"b": 1.0}).objective == pytest.approx(1.0)
+
+
+def test_resolve_rhs_updates_on_shared_equality_conflict():
+    program = LinearProgram("eq-rhs")
+    program.add_eq({"x": 1.0}, 2.0, name="a")
+    program.add_eq({"x": 1.0}, 2.0, name="b")  # deduped into one row
+    program.set_objective({"x": 1.0})
+    assert program.resolve(rhs_updates={"a": 3.0, "b": 3.0}).objective \
+        == pytest.approx(3.0)
+    # diverging one sibling from the other is infeasible, not a silent merge
+    with pytest.raises(InfeasibleProgramError):
+        program.resolve(rhs_updates={"a": 3.0})
+
+
+def test_resolve_rhs_updates_keep_ge_orientation():
+    # Updating an add_ge row takes the new >= bound, not the negated internal RHS.
+    program = LinearProgram("ge-rhs")
+    program.add_variable("x", lower=0.0, upper=10.0)
+    program.add_ge({"x": 1.0}, 1.0, name="floor")
+    program.set_objective({"x": 1.0}, maximize=False)
+    assert program.solve().objective == pytest.approx(1.0)
+    assert program.resolve(rhs_updates={"floor": 2.0}).objective == pytest.approx(2.0)
+
+
+def test_resolve_extra_rows_and_variables_are_ephemeral():
+    program = LinearProgram("extra")
+    program.add_variable("x", lower=0.0, upper=4.0)
+    program.add_variable("y", lower=0.0, upper=7.0)
+    # max t  s.t.  t <= x-ish caps: the max-min gadget used by the DDR bound.
+    solution = program.resolve(
+        objective={"t": 1.0}, maximize=True,
+        extra_variables={"t": (None, None)},
+        extra_le=[({"t": 1.0, "x": -1.0}, 0.0), ({"t": 1.0, "y": -1.0}, 0.0)])
+    assert solution.objective == pytest.approx(4.0)
+    assert solution.value("t") == pytest.approx(4.0)
+    # the gadget left the program untouched
+    assert program.variable_names() == ["x", "y"]
+    program.set_objective({"x": 1.0, "y": 1.0}, maximize=True)
+    assert program.solve().objective == pytest.approx(11.0)
+    with pytest.raises(ValueError):
+        program.resolve(objective={"x": 1.0}, extra_variables={"x": (0.0, 1.0)})
 
 
 def test_exact_standard_form():
