@@ -86,6 +86,7 @@ from repro.algorithms import (
     generic_join,
 )
 from repro.optimizer import PlanKind, estimate_costs, plan, plan_and_execute
+from repro.engine import Engine, EngineStats, PreparedQuery
 
 __version__ = "1.0.0"
 
@@ -128,5 +129,8 @@ __all__ = [
     "plan",
     "plan_and_execute",
     "PlanKind",
+    "Engine",
+    "EngineStats",
+    "PreparedQuery",
     "__version__",
 ]

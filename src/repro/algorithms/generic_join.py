@@ -116,10 +116,10 @@ def generic_join(query: ConjunctiveQuery, database: Database,
     backend_kind = bound[0].backend_kind if bound else None
     result = Relation(query.name, tuple(free), output_rows, backend=backend_kind)
     if counter is not None:
-        counter.intermediate_tuples += explored
-        counter.max_intermediate = max(counter.max_intermediate, len(result))
-        counter.materializations += 1
-        counter.notes.append(f"generic join explored {explored} partial assignments")
+        # One atomic batch update: safe when the caller shares a counter
+        # across partition-parallel shard workers.
+        counter.tally(explored, len(result),
+                      note=f"generic join explored {explored} partial assignments")
     return result
 
 

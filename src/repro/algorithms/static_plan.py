@@ -80,13 +80,17 @@ def compute_bag_relation(query: ConjunctiveQuery, database: Database,
 
 def evaluate_static_plan(query: ConjunctiveQuery, database: Database,
                          decomposition: TreeDecomposition,
-                         counter: WorkCounter | None = None) -> tuple[Relation, StaticPlanReport]:
+                         counter: WorkCounter | None = None,
+                         validate: bool = True) -> tuple[Relation, StaticPlanReport]:
     """Evaluate a CQ with the static plan induced by ``decomposition``.
 
     Returns the answer relation together with a :class:`StaticPlanReport`
     recording every bag size (the quantities the fhtw cost model bounds).
+    ``validate=False`` skips the decomposition validity check — the engine's
+    plan cache uses it when re-running a decomposition that was validated
+    when the plan was first built.
     """
-    if not decomposition.is_valid_for(query):
+    if validate and not decomposition.is_valid_for(query):
         raise ValueError(f"{decomposition} is not a valid decomposition of {query}")
     report = StaticPlanReport(decomposition=decomposition)
     work = counter if counter is not None else report.counter

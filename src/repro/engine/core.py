@@ -1,0 +1,378 @@
+"""The query-engine service layer: one facade that amortizes everything.
+
+The paper's planner is a meta-algorithm that picks Yannakakis / static-TD /
+adaptive-PANDA per query; PRs 1–3 gave the storage and LP layers caches.  The
+:class:`Engine` composes them into a serving loop:
+
+* a **plan cache** (:mod:`repro.engine.plan_cache`) keyed by the canonical —
+  variable-renaming-invariant — query fingerprint × the statistics
+  fingerprint, with LRU eviction and build/hit counters, so repeated (or
+  alpha-renamed) queries skip width computation, LP solving and TD
+  enumeration entirely;
+* **measured-statistics memoization** validated by the database's revision
+  counter and backend identities, so ``prepare(query)`` with no explicit
+  statistics re-measures only after the data actually changed;
+* **prepared queries** (:meth:`Engine.prepare`) whose ``execute`` /
+  ``execute_many`` re-validate against the database revision and re-resolve
+  transparently on staleness;
+* **partition-parallel execution** (:mod:`repro.engine.parallel`): the
+  heaviest non-self-joined atom is hash-partitioned across N workers, the
+  cached plan runs per shard, and the shard answers union into exactly the
+  serial result;
+* :class:`EngineStats`: plans built/reused, shards run, wall time, and the
+  aggregated storage + LP cache deltas observed while serving.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.engine.fingerprint import (
+    plan_fingerprint,
+    query_fingerprint,
+    statistics_fingerprint,
+)
+from repro.engine.parallel import run_partitioned
+from repro.engine.plan_cache import LruDict, PlanCache, PlanRecipe
+from repro.decompositions.treedecomp import TreeDecomposition
+from repro.lp.model import lp_cache_delta, lp_cache_stats
+from repro.optimizer.cost import estimate_costs
+from repro.optimizer.planner import (
+    ExecutionResult,
+    QueryPlan,
+    plan as choose_plan,
+    realize_plan,
+)
+from repro.query.cq import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.stats.collect import collect_statistics
+from repro.stats.constraints import ConstraintSet
+
+
+@dataclass
+class EngineStats:
+    """Serving metrics: planning reuse, execution shape, cache activity."""
+
+    plans_built: int = 0
+    plans_reused: int = 0
+    statistics_measured: int = 0
+    statistics_reused: int = 0
+    executions: int = 0
+    serial_executions: int = 0
+    parallel_executions: int = 0
+    shards_run: int = 0
+    invalidations: int = 0
+    wall_time_seconds: float = 0.0
+    #: Aggregated storage-backend index build/hit deltas observed during
+    #: executions (the engine database's ``cache_stats`` movements).
+    storage_cache_events: dict[str, int] = field(default_factory=dict)
+    #: Aggregated LP-substrate cache deltas (region/flow/solution reuse)
+    #: observed during planning and execution.
+    lp_cache_events: dict[str, int] = field(default_factory=dict)
+
+    def absorb_events(self, target: str, delta: dict[str, int]) -> None:
+        bucket = getattr(self, target)
+        for event, count in delta.items():
+            if count:
+                bucket[event] = bucket.get(event, 0) + count
+
+    def as_dict(self) -> dict:
+        return {
+            "plans_built": self.plans_built,
+            "plans_reused": self.plans_reused,
+            "statistics_measured": self.statistics_measured,
+            "statistics_reused": self.statistics_reused,
+            "executions": self.executions,
+            "serial_executions": self.serial_executions,
+            "parallel_executions": self.parallel_executions,
+            "shards_run": self.shards_run,
+            "invalidations": self.invalidations,
+            "wall_time_seconds": self.wall_time_seconds,
+            "storage_cache_events": dict(self.storage_cache_events),
+            "lp_cache_events": dict(self.lp_cache_events),
+        }
+
+    def describe(self) -> str:
+        lines = [f"engine: {self.executions} executions "
+                 f"({self.parallel_executions} parallel, {self.shards_run} shards) "
+                 f"in {self.wall_time_seconds:.4f}s",
+                 f"  plans: {self.plans_built} built, {self.plans_reused} reused; "
+                 f"statistics: {self.statistics_measured} measured, "
+                 f"{self.statistics_reused} reused; "
+                 f"{self.invalidations} invalidations"]
+        for label, bucket in (("storage caches", self.storage_cache_events),
+                              ("lp caches", self.lp_cache_events)):
+            if bucket:
+                events = ", ".join(f"{key}={value}"
+                                   for key, value in sorted(bucket.items()))
+                lines.append(f"  {label}: {events}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PreparedQuery:
+    """A plan bound to an engine, re-validated against the database revision.
+
+    ``execute()`` runs the cached plan (sharded when the prepared shard count
+    or the call-site override asks for it); ``execute_many(batch)`` runs the
+    same plan once per database in ``batch`` — the serving pattern for a
+    stream of snapshots or tenant databases that share one schema — or, with
+    no batch, once per engine database per repetition.
+    """
+
+    engine: "Engine"
+    query: ConjunctiveQuery
+    statistics: ConstraintSet
+    plan: QueryPlan
+    shards: int
+    _explicit_statistics: bool
+    _revision: int
+    _snapshot: tuple
+
+    def execute(self, shards: int | None = None) -> ExecutionResult:
+        self._refresh()
+        return self.engine._execute_plan(
+            self.plan, self.shards if shards is None else shards)
+
+    def execute_many(self, batch: Iterable[Database] | None = None,
+                     repeat: int = 1,
+                     shards: int | None = None) -> list[ExecutionResult]:
+        """Run the prepared plan over a batch of databases (or ``repeat`` times).
+
+        All runs reuse this one plan — no re-planning per database — which is
+        sound because the plan only depends on the query and the statistics;
+        pass databases that satisfy the prepared statistics for the cost
+        guarantees to carry over.
+        """
+        shard_count = self.shards if shards is None else shards
+        if batch is None:
+            return [self.execute(shards=shard_count) for _ in range(repeat)]
+        self._refresh()
+        return [self.engine._execute_plan(self.plan, shard_count,
+                                          database=database)
+                for database in batch]
+
+    def _refresh(self) -> None:
+        """Re-resolve statistics and plan if the engine database moved on."""
+        engine = self.engine
+        if (engine.database.revision == self._revision
+                and engine.database.backend_snapshot() == self._snapshot):
+            return
+        engine.stats.invalidations += 1
+        if not self._explicit_statistics:
+            self.statistics = engine.measured_statistics(self.query)
+        self.plan = engine._resolve_plan(self.query, self.statistics)
+        self._revision = engine.database.revision
+        self._snapshot = engine.database.backend_snapshot()
+
+
+class Engine:
+    """The serving facade: a database plus every cross-request cache.
+
+    Parameters
+    ----------
+    database:
+        The database the engine owns and serves queries against.
+    plan_cache_size:
+        LRU capacity of the plan cache (entries, not bytes).
+    max_variables, adaptive_threshold:
+        Planner configuration, part of the plan-cache key.
+    shards:
+        Default shard count for executions; ``1`` means serial.  Shard counts
+        can be overridden per ``prepare``/``execute`` call.
+    executor:
+        ``"thread"`` (default; shares warm indexes of unpartitioned
+        relations), ``"process"`` (forked workers, picklable row payloads) or
+        ``"serial"`` (the sharded dataflow on one core, for debugging).
+    measure_degrees:
+        Whether auto-measured statistics include per-split max degrees
+        (tighter plans, costlier measurement) or only cardinalities.
+    """
+
+    def __init__(self, database: Database, *,
+                 plan_cache_size: int = 128,
+                 max_variables: int = 9,
+                 adaptive_threshold: float = 1e-6,
+                 shards: int = 1,
+                 executor: str = "thread",
+                 measure_degrees: bool = False) -> None:
+        self.database = database
+        self.max_variables = max_variables
+        self.adaptive_threshold = adaptive_threshold
+        self.shards = shards
+        self.executor = executor
+        self.measure_degrees = measure_degrees
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.stats = EngineStats()
+        # LRU-bounded like the plan cache: an unbounded memo would pin one
+        # backend snapshot per query shape ever seen — including superseded
+        # backends and their cached indexes — for the engine's lifetime.
+        self._stats_memo: LruDict = LruDict(plan_cache_size)
+
+    # ------------------------------------------------------------ statistics
+    def measured_statistics(self, query: ConjunctiveQuery) -> ConstraintSet:
+        """Statistics measured on the engine's database, memoized per query.
+
+        Entries are validated by the database revision *and* the stored
+        relations' backend identities, so both :meth:`Database.add` and
+        copy-on-write row mutation invalidate them.
+        """
+        memo = self._stats_memo.get(query)
+        snapshot = self.database.backend_snapshot()
+        if memo is not None:
+            revision, seen_snapshot, statistics = memo
+            if revision == self.database.revision and seen_snapshot == snapshot:
+                self.stats.statistics_reused += 1
+                return statistics
+        statistics = collect_statistics(self.database, query,
+                                        include_degrees=self.measure_degrees)
+        self._stats_memo.put(query, (self.database.revision, snapshot, statistics))
+        self.stats.statistics_measured += 1
+        return statistics
+
+    # -------------------------------------------------------------- planning
+    def prepare(self, query: ConjunctiveQuery,
+                statistics: ConstraintSet | None = None,
+                shards: int | None = None) -> PreparedQuery:
+        """Resolve (or fetch) the plan for ``query`` and bind it for serving."""
+        explicit = statistics is not None
+        if statistics is None:
+            statistics = self.measured_statistics(query)
+        chosen = self._resolve_plan(query, statistics)
+        return PreparedQuery(engine=self, query=query, statistics=statistics,
+                             plan=chosen,
+                             shards=self.shards if shards is None else shards,
+                             _explicit_statistics=explicit,
+                             _revision=self.database.revision,
+                             _snapshot=self.database.backend_snapshot())
+
+    def execute(self, query: ConjunctiveQuery,
+                statistics: ConstraintSet | None = None,
+                shards: int | None = None) -> ExecutionResult:
+        """Plan-cache-aware one-shot execution against the engine database."""
+        return self.prepare(query, statistics=statistics, shards=shards).execute()
+
+    def execute_many(self, queries: Sequence[ConjunctiveQuery],
+                     shards: int | None = None) -> list[ExecutionResult]:
+        """Serve a workload of queries; repeated shapes hit the plan cache."""
+        return [self.execute(query, shards=shards) for query in queries]
+
+    def cache_stats(self) -> dict[str, int]:
+        """Plan-cache counters merged with the database's index counters."""
+        totals = self.plan_cache.cache_stats()
+        for event, count in self.database.cache_stats().items():
+            totals[event] = totals.get(event, 0) + count
+        return totals
+
+    def invalidate(self) -> None:
+        """Drop every cached plan and memoized statistic."""
+        self.plan_cache.clear()
+        self._stats_memo.clear()
+        self.stats.invalidations += 1
+
+    # -------------------------------------------------------------- internals
+    def _plan_key(self, query_digest: str, statistics_digest: str) -> tuple:
+        return (query_digest, statistics_digest,
+                self.max_variables, self.adaptive_threshold)
+
+    def _resolve_plan(self, query: ConjunctiveQuery,
+                      statistics: ConstraintSet) -> QueryPlan:
+        query_digest, renaming = query_fingerprint(query)
+        statistics_digest = statistics_fingerprint(statistics, renaming)
+        key = self._plan_key(query_digest, statistics_digest)
+        recipe = self.plan_cache.get(key)
+        if recipe is not None:
+            rebuilt = self._plan_from_recipe(recipe, query, statistics, renaming)
+            if rebuilt is not None:
+                self.stats.plans_reused += 1
+                return rebuilt
+        before_lp = lp_cache_stats()
+        estimate = estimate_costs(query, statistics,
+                                  max_variables=self.max_variables)
+        chosen = choose_plan(query, statistics,
+                             max_variables=self.max_variables,
+                             adaptive_threshold=self.adaptive_threshold,
+                             estimate=estimate)
+        chosen.fingerprint = plan_fingerprint(query_digest, statistics_digest)
+        self.stats.absorb_events("lp_cache_events", lp_cache_delta(before_lp))
+        self.plan_cache.put(key, self._recipe_from_plan(chosen, renaming))
+        self.stats.plans_built += 1
+        return chosen
+
+    def _recipe_from_plan(self, chosen: QueryPlan,
+                          renaming: dict[str, str]) -> PlanRecipe:
+        """Translate a freshly costed plan into canonical variable space."""
+
+        def canonical_bags(bags: Iterable[frozenset[str]]) -> tuple:
+            return tuple(frozenset(renaming[v] for v in bag) for bag in bags)
+
+        estimate = chosen.estimate
+        return PlanRecipe(
+            kind=chosen.kind,
+            reason=chosen.reason,
+            fhtw_width=estimate.fhtw_exponent if estimate else float("nan"),
+            subw_width=estimate.subw_exponent if estimate else float("nan"),
+            is_acyclic=bool(estimate and estimate.is_acyclic),
+            is_free_connex=bool(estimate and estimate.is_free_connex),
+            best_bags=(canonical_bags(chosen.decomposition.bags)
+                       if chosen.decomposition is not None else ()),
+            decomposition_bags=tuple(canonical_bags(td.bags)
+                                     for td in chosen.decompositions),
+            fingerprint=chosen.fingerprint,
+        )
+
+    def _plan_from_recipe(self, recipe: PlanRecipe, query: ConjunctiveQuery,
+                          statistics: ConstraintSet,
+                          renaming: dict[str, str]) -> QueryPlan | None:
+        """Rebind a canonical recipe to ``query``'s own variable names."""
+        inverse = {canonical: original
+                   for original, canonical in renaming.items()}
+        try:
+            decomposition = (TreeDecomposition(
+                [{inverse[v] for v in bag} for bag in recipe.best_bags])
+                if recipe.best_bags else None)
+            decompositions = tuple(
+                TreeDecomposition([{inverse[v] for v in bag} for bag in bags])
+                for bags in recipe.decomposition_bags)
+        except KeyError:
+            # A fingerprint collision between structurally different queries:
+            # astronomically unlikely, but fall back to a fresh plan.
+            return None
+        return realize_plan(recipe.kind, query, statistics,
+                            reason=recipe.reason,
+                            decomposition=decomposition,
+                            decompositions=decompositions,
+                            max_variables=self.max_variables,
+                            validate=False,
+                            fingerprint=recipe.fingerprint)
+
+    def _execute_plan(self, chosen: QueryPlan, shards: int,
+                      database: Database | None = None) -> ExecutionResult:
+        database = self.database if database is None else database
+        storage_before = database.cache_stats()
+        lp_before = lp_cache_stats()
+        started = time.perf_counter()
+        result = None
+        if shards > 1:
+            result = run_partitioned(chosen, database, shards,
+                                     executor=self.executor)
+        if result is not None:
+            self.stats.parallel_executions += 1
+            self.stats.shards_run += shards
+        else:
+            result = chosen.execute(database)
+            self.stats.serial_executions += 1
+        self.stats.executions += 1
+        self.stats.wall_time_seconds += time.perf_counter() - started
+        self.stats.absorb_events("storage_cache_events",
+                                 _dict_delta(database.cache_stats(),
+                                             storage_before))
+        self.stats.absorb_events("lp_cache_events", lp_cache_delta(lp_before))
+        return result
+
+
+def _dict_delta(after: dict[str, int], before: dict[str, int]) -> dict[str, int]:
+    return {event: after.get(event, 0) - before.get(event, 0)
+            for event in set(after) | set(before)}

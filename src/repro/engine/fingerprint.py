@@ -1,0 +1,62 @@
+"""Canonical fingerprints for plan-cache keys.
+
+A cached plan may be reused for any query that is *structurally* the same —
+same relation symbols, same join shape, same free-variable positions — no
+matter what the author called the variables.  The fingerprint therefore
+hashes the query's canonical form (:meth:`ConjunctiveQuery.canonicalize`),
+and the statistics fingerprint maps every constraint's variables through the
+same canonical renaming before hashing, so a query and its statistics are
+fingerprinted in one shared name space.
+
+``E(X,Y) ⋈ F(Y,Z)`` under ``|E| ≤ 100`` and ``E(A,B) ⋈ F(B,C)`` under the
+``A,B``-renamed statistics collapse onto one cache entry; the cached decision
+is mapped back through the inverse renaming when it is executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.query.cq import ConjunctiveQuery
+from repro.stats.constraints import ConstraintSet
+
+
+def query_fingerprint(query: ConjunctiveQuery) -> tuple[str, dict[str, str]]:
+    """``(digest, renaming)`` for a query's canonical form.
+
+    ``renaming`` maps the query's variable names to the canonical names the
+    digest was computed over; callers key caches on the digest and use the
+    renaming to translate cached per-variable structures (tree decomposition
+    bags) between the two name spaces.
+    """
+    canonical, renaming = query.canonicalize()
+    descriptor = (tuple((atom.relation, atom.variables)
+                        for atom in canonical.atoms),
+                  tuple(sorted(canonical.free_variables)))
+    digest = hashlib.sha1(repr(descriptor).encode()).hexdigest()
+    return digest, renaming
+
+
+def statistics_fingerprint(statistics: ConstraintSet,
+                           renaming: dict[str, str]) -> str:
+    """A content fingerprint of ``statistics`` in canonical variable space.
+
+    Same descriptors as :meth:`ConstraintSet.fingerprint` (order-insensitive
+    over the constraint multiset, sensitive to the reference size ``N``) but
+    with every variable mapped through ``renaming`` first, so the statistics
+    of two alpha-renamed queries hash identically exactly when they express
+    the same bounds on corresponding variables.  A variable outside the query
+    (symbolic statistics) keeps its own name behind a marker so a renamed
+    query never aliases it onto a canonical ``v<i>``.
+    """
+    descriptors = statistics.constraint_descriptors(
+        rename=lambda variable: renaming.get(variable, f"?{variable}"))
+    digest = hashlib.sha1()
+    digest.update(repr(statistics.base).encode())
+    digest.update(repr(sorted(descriptors)).encode())
+    return digest.hexdigest()
+
+
+def plan_fingerprint(query_digest: str, statistics_digest: str) -> str:
+    """The short human-readable plan identity shown by ``QueryPlan.explain``."""
+    return f"{query_digest[:12]}x{statistics_digest[:12]}"

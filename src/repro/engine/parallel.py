@@ -1,0 +1,190 @@
+"""Partition-parallel plan execution: hash-shard one atom, run the plan per shard.
+
+The classical data-partitioning argument (and the reason a single relation
+can be scanned by many workers at once): if a relation ``R`` appears in
+exactly one atom of ``Q``, then for any partition ``R = R_1 ∪ ... ∪ R_k``
+into disjoint shards,
+
+    Q(D) = Q(D[R := R_1]) ∪ ... ∪ Q(D[R := R_k])
+
+because every tuple of the full join uses exactly one tuple of ``R`` — and
+projections and Boolean quantification commute with the union.  (A relation
+appearing in *several* atoms — a self-join — breaks the identity: an answer
+may pair tuples from different shards, so self-joined relations are never
+chosen for partitioning.)
+
+The shard assignment uses :func:`~repro.relational.storage.stable_row_hash`,
+so it is identical in every worker process, and the per-shard work is tracked
+by per-worker :class:`~repro.relational.operators.WorkCounter` objects merged
+at join time (the counters are also individually thread-safe, so sharing one
+would merely serialize updates, not lose them).
+
+Two executors are provided: ``"thread"`` shares the parent's relations
+(copy-on-write facades, so cached indexes of the *unpartitioned* relations
+stay warm across shards) and ``"process"`` ships picklable row payloads to
+forked workers and rebuilds the plan from its structural description there.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
+from repro.relational.relation import Relation
+
+EXECUTORS = ("thread", "process", "serial")
+
+
+def choose_partition_atom(query: ConjunctiveQuery,
+                          database: Database) -> Atom | None:
+    """The heaviest atom whose relation is safe to partition.
+
+    Safe means the relation symbol occurs in exactly one atom (see the module
+    docstring for why self-joins are excluded); heaviest means the largest
+    stored relation, which maximises the work actually spread across workers.
+    Returns ``None`` when no atom qualifies — the engine then falls back to
+    the serial path.
+    """
+    candidates = [atom for atom in query.atoms
+                  if len(query.atoms_for_relation(atom.relation)) == 1
+                  and atom.relation in database]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda atom: len(database[atom.relation]))
+
+
+def shard_databases(database: Database, atom: Atom, count: int) -> list[Database]:
+    """``count`` databases that differ only in the shard of ``atom``'s relation.
+
+    Every other relation is shared by backend (copy-on-write facades), so
+    index caches built by one shard's worker serve the others — sharding
+    multiplies only the partitioned relation, not the whole database.
+    """
+    shards = database[atom.relation].hash_shards(count)
+    shard_dbs = []
+    for shard in shards:
+        shard_db = Database(backend=database.backend_kind)
+        for name in database.relation_names():
+            if name == atom.relation:
+                shard_db.add(shard, name=name)
+            else:
+                shard_db.add(database[name].copy(), name=name)
+        shard_dbs.append(shard_db)
+    return shard_dbs
+
+
+def merge_shard_results(query: ConjunctiveQuery, shard_results: Sequence,
+                        backend_kind: str | None):
+    """Union the shard answers and merge the per-worker counters.
+
+    The shard answers share one deterministic schema (each shard ran the same
+    plan), so the union is a plain row-set union — which is exactly the
+    serial answer by the partitioning identity.
+    """
+    from repro.optimizer.planner import ExecutionResult
+
+    columns = shard_results[0].answer.columns
+    rows: set[tuple] = set()
+    for result in shard_results:
+        rows.update(result.answer.rows)
+    answer = Relation(query.name, columns, rows, backend=backend_kind)
+    counter = WorkCounter()
+    for result in shard_results:
+        counter.merge(result.counter)
+    return ExecutionResult(answer=answer, counter=counter,
+                           details=[result.details for result in shard_results])
+
+
+# ---------------------------------------------------------------------------
+# workers
+# ---------------------------------------------------------------------------
+
+def _database_payload(database: Database) -> dict:
+    """A picklable description of a database: raw rows, no backend objects."""
+    return {name: (database[name].columns, list(database[name].rows),
+                   database[name].backend_kind)
+            for name in database.relation_names()}
+
+
+def _shard_payload(plan, shard_db: Database) -> dict:
+    """Everything a worker process needs to re-run ``plan`` on ``shard_db``."""
+    return {
+        "kind": plan.kind,
+        "query": plan.query,
+        "statistics": plan.statistics,
+        "best_bags": (tuple(plan.decomposition.bags)
+                      if plan.decomposition is not None else None),
+        "decomposition_bags": tuple(tuple(td.bags)
+                                    for td in plan.decompositions),
+        "relations": _database_payload(shard_db),
+    }
+
+
+def _execute_shard(payload: dict):
+    """Process-pool worker: rebuild the database and plan, run, return the result.
+
+    Runs in a separate interpreter, so everything crossing the boundary is
+    plain picklable data; the returned ``ExecutionResult`` keeps the worker's
+    counter (thread-safe counters re-grow their lock on unpickling) and drops
+    the execution details, which may hold arbitrarily large reports.
+    """
+    from repro.decompositions.treedecomp import TreeDecomposition
+    from repro.optimizer.planner import realize_plan
+
+    database = Database({name: Relation(name, columns, rows, backend=backend)
+                         for name, (columns, rows, backend)
+                         in payload["relations"].items()})
+    decomposition = (TreeDecomposition(payload["best_bags"])
+                     if payload["best_bags"] is not None else None)
+    decompositions = tuple(TreeDecomposition(bags)
+                           for bags in payload["decomposition_bags"])
+    plan = realize_plan(payload["kind"], payload["query"], payload["statistics"],
+                        reason="shard worker", decomposition=decomposition,
+                        decompositions=decompositions, validate=False)
+    result = plan.execute(database)
+    result.details = None
+    return result
+
+
+def run_partitioned(plan, database: Database, shards: int,
+                    executor: str = "thread"):
+    """Execute ``plan`` over ``shards`` hash-partitions of its heaviest atom.
+
+    Returns the merged :class:`~repro.optimizer.planner.ExecutionResult`
+    (identical to the serial answer), or ``None`` when the query has no
+    partitionable atom, in which case the caller should run serially.
+    """
+    if shards < 2:
+        raise ValueError("partition-parallel execution needs at least 2 shards")
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; pick one of {EXECUTORS}")
+    atom = choose_partition_atom(plan.query, database)
+    if atom is None:
+        return None
+    shard_dbs = shard_databases(database, atom, shards)
+    if executor == "serial":
+        # The sharded dataflow on one core: useful for debugging and for
+        # exact parity tests that must not depend on scheduling.
+        shard_results = [plan.execute(shard_db) for shard_db in shard_dbs]
+    elif executor == "process":
+        payloads = [_shard_payload(plan, shard_db) for shard_db in shard_dbs]
+        with ProcessPoolExecutor(max_workers=shards,
+                                 mp_context=_process_context()) as pool:
+            shard_results = list(pool.map(_execute_shard, payloads))
+    else:
+        with ThreadPoolExecutor(max_workers=shards) as pool:
+            shard_results = list(pool.map(plan.execute, shard_dbs))
+    return merge_shard_results(plan.query, shard_results, database.backend_kind)
+
+
+def _process_context():
+    """Fork when the platform offers it (cheap, inherits the code); else default."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()

@@ -1,0 +1,121 @@
+"""The LRU plan cache: canonical plan decisions, reusable across renamings.
+
+The cache stores :class:`PlanRecipe` objects — a plan *decision* expressed in
+the canonical variable space of :mod:`repro.engine.fingerprint` — keyed by
+``(query fingerprint, statistics fingerprint, planner configuration)``.  A
+recipe carries everything needed to rebuild an executable
+:class:`~repro.optimizer.planner.QueryPlan` without touching the width
+machinery: the plan kind, the winning decomposition's bags, the adaptive
+plan's decomposition list and the cost figures, all with canonically named
+variables so one entry serves every alpha-renaming of the query.
+
+Build/hit/eviction counters mirror the storage backends' ``cache_stats`` and
+the LP substrate's ``lp_cache_stats`` conventions, so the engine can report
+reuse across all three cache layers uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.optimizer.planner import PlanKind
+
+
+@dataclass(frozen=True)
+class PlanRecipe:
+    """One cached plan decision, in canonical variable space."""
+
+    kind: PlanKind
+    reason: str
+    fhtw_width: float
+    subw_width: float
+    is_acyclic: bool
+    is_free_connex: bool
+    #: Bags of the winning static decomposition (``STATIC_TD`` only).
+    best_bags: tuple[frozenset[str], ...]
+    #: Bags of every enumerated free-connex decomposition (adaptive plans).
+    decomposition_bags: tuple[tuple[frozenset[str], ...], ...]
+    #: ``query digest x statistics digest`` — the entry's identity.
+    fingerprint: str
+
+
+class LruDict:
+    """A bounded mapping with least-recently-used eviction.
+
+    The one LRU policy in the engine: the plan cache and the engine's
+    measured-statistics memo both delegate here, so eviction semantics
+    cannot drift between them.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("an LRU cache needs capacity for at least one entry")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """The entry for ``key`` (marked most recently used), or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> int:
+        """Store ``key -> value``; returns how many entries were evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evictions = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evictions += 1
+        return evictions
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class PlanCache:
+    """A bounded LRU mapping plan-cache keys to :class:`PlanRecipe` entries."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self._entries = LruDict(capacity)
+        self.stats: dict[str, int] = {
+            "plan_builds": 0, "plan_hits": 0, "plan_evictions": 0,
+        }
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> PlanRecipe | None:
+        """The cached recipe for ``key`` (marks it most recently used)."""
+        recipe = self._entries.get(key)
+        if recipe is not None:
+            self.stats["plan_hits"] += 1
+        return recipe
+
+    def put(self, key: tuple, recipe: PlanRecipe) -> None:
+        """Store a freshly built recipe, evicting the least recently used."""
+        self.stats["plan_builds"] += 1
+        self.stats["plan_evictions"] += self._entries.put(key, recipe)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved — they tell the story)."""
+        self._entries.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Build/hit/eviction counters plus the current entry count."""
+        return {**self.stats, "plan_entries": len(self._entries)}

@@ -7,6 +7,7 @@ from repro.optimizer.planner import (
     QueryPlan,
     plan,
     plan_and_execute,
+    realize_plan,
 )
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "ExecutionResult",
     "plan",
     "plan_and_execute",
+    "realize_plan",
 ]

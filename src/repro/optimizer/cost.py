@@ -33,6 +33,10 @@ class CostEstimate:
     is_free_connex: bool
     fhtw: FhtwResult
     subw: SubwResult
+    #: The free-connex tree decompositions both widths were computed over.
+    #: Plan runners reuse them, so choosing *and executing* a plan enumerates
+    #: decompositions exactly once per costed estimate.
+    decompositions: tuple = ()
     #: LP-layer cache events during this estimate: ``fhtw`` and ``subw`` key
     #: the polymatroid-region cache identically, so one compiled region
     #: serves both widths (``region_builds`` ≤ 1 on a cold cache).
@@ -86,5 +90,6 @@ def estimate_costs(query: ConjunctiveQuery, statistics: ConstraintSet,
         is_free_connex=is_free_connex(atom_sets, query.free_variables),
         fhtw=fhtw,
         subw=subw,
+        decompositions=tuple(decompositions),
         lp_cache_events=lp_cache_delta(before),
     )

@@ -14,16 +14,25 @@ evaluation strategy to use:
 
 ``plan(...)`` produces a :class:`QueryPlan` that can be inspected
 (``explain()``) and executed against any database satisfying the statistics.
+A plan is built from exactly one :class:`~repro.optimizer.cost.CostEstimate`
+(pass ``estimate=`` to reuse one the caller already computed) and carries the
+decompositions that estimate enumerated, so choosing *and* executing a plan
+never re-derives widths, LP bounds or decompositions — the historical
+behaviour of re-running ``estimate_costs`` when switching between plan kinds
+is gone.  For repeated traffic, :class:`repro.engine.Engine` caches whole
+plans across calls; :func:`plan_and_execute` routes through a single-shot
+engine so every caller shares that one costed-plan path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.algorithms.static_plan import evaluate_static_plan
 from repro.algorithms.yannakakis import evaluate_yannakakis
+from repro.decompositions.treedecomp import TreeDecomposition
 from repro.optimizer.cost import CostEstimate, estimate_costs
 from repro.panda.adaptive import evaluate_adaptive
 from repro.query.cq import ConjunctiveQuery
@@ -56,14 +65,28 @@ class ExecutionResult:
 
 @dataclass
 class QueryPlan:
-    """A chosen plan: its kind, cost estimate and an executable closure."""
+    """A chosen plan: its kind, cost figures and an executable closure.
+
+    ``estimate`` is the full cost estimate when the plan was freshly costed
+    and ``None`` when the plan was rebuilt from the engine's plan cache (the
+    widths then live in ``reason``/``fingerprint``).  ``decomposition`` /
+    ``decompositions`` expose the plan's structure so it can be cached,
+    shipped to worker processes and explained without re-deriving anything.
+    """
 
     kind: PlanKind
     query: ConjunctiveQuery
     statistics: ConstraintSet
-    estimate: CostEstimate
     runner: Callable[[Database], ExecutionResult]
     reason: str
+    estimate: CostEstimate | None = None
+    #: The static plan's tree decomposition (``STATIC_TD`` only).
+    decomposition: TreeDecomposition | None = None
+    #: The free-connex decompositions an adaptive plan unions over.
+    decompositions: tuple[TreeDecomposition, ...] = ()
+    #: The plan-cache identity: canonical query fingerprint × statistics
+    #: fingerprint.  Empty for plans built outside an engine.
+    fingerprint: str = ""
 
     def execute(self, database: Database) -> ExecutionResult:
         return self.runner(database)
@@ -72,40 +95,90 @@ class QueryPlan:
         lines = [f"plan for {self.query}",
                  f"  strategy: {self.kind.value}",
                  f"  reason: {self.reason}"]
-        lines.append("  " + self.estimate.describe().replace("\n", "\n  "))
+        if self.fingerprint:
+            lines.append(f"  fingerprint: {self.fingerprint}")
+        if self.estimate is not None:
+            lines.append("  " + self.estimate.describe().replace("\n", "\n  "))
+        else:
+            lines.append("  estimate: served from the plan cache")
         return "\n".join(lines)
+
+
+def realize_plan(kind: PlanKind, query: ConjunctiveQuery,
+                 statistics: ConstraintSet, *, reason: str,
+                 estimate: CostEstimate | None = None,
+                 decomposition: TreeDecomposition | None = None,
+                 decompositions: Sequence[TreeDecomposition] = (),
+                 max_variables: int = 9,
+                 validate: bool = True,
+                 fingerprint: str = "") -> QueryPlan:
+    """Build the executable :class:`QueryPlan` for an already-made decision.
+
+    This is the single place runners are constructed: :func:`plan` calls it
+    after comparing the cost figures, and the engine's plan cache calls it
+    when rebinding a cached decision to a (possibly variable-renamed) query.
+    ``validate=False`` skips re-validating a decomposition that was validated
+    when the decision was first made.
+    """
+    decompositions = tuple(decompositions)
+    if kind is PlanKind.YANNAKAKIS:
+        runner = lambda database: _run_yannakakis(query, database)  # noqa: E731
+    elif kind is PlanKind.ADAPTIVE_PANDA:
+        runner = lambda database: _run_adaptive(  # noqa: E731
+            query, database, statistics, max_variables,
+            decompositions=decompositions or None)
+    elif kind is PlanKind.STATIC_TD:
+        if decomposition is None:
+            raise ValueError("a static plan needs its tree decomposition")
+        runner = lambda database: _run_static(  # noqa: E731
+            query, database, decomposition, validate=validate)
+    else:  # pragma: no cover - exhaustive over PlanKind
+        raise ValueError(f"unknown plan kind: {kind!r}")
+    return QueryPlan(kind=kind, query=query, statistics=statistics,
+                     runner=runner, reason=reason, estimate=estimate,
+                     decomposition=decomposition, decompositions=decompositions,
+                     fingerprint=fingerprint)
 
 
 def plan(query: ConjunctiveQuery, statistics: ConstraintSet,
          max_variables: int = 9,
-         adaptive_threshold: float = 1e-6) -> QueryPlan:
-    """Choose a plan for ``query`` under ``statistics``."""
-    estimate = estimate_costs(query, statistics, max_variables=max_variables)
+         adaptive_threshold: float = 1e-6,
+         estimate: CostEstimate | None = None) -> QueryPlan:
+    """Choose a plan for ``query`` under ``statistics``.
+
+    ``estimate`` lets a caller that already holds the costed estimate (the
+    engine, a benchmark comparing strategies) skip recomputing it; every
+    runner below reuses the estimate's decompositions, so the widths and the
+    TD enumeration happen exactly once per plan.
+    """
+    if estimate is None:
+        estimate = estimate_costs(query, statistics, max_variables=max_variables)
+    elif estimate.query != query:
+        # The decompositions and widths below are only meaningful for the
+        # query they were costed on; silently accepting a mismatch would
+        # execute a foreign decomposition and return wrong answers.
+        raise ValueError(
+            f"the supplied estimate was costed for {estimate.query}, not {query}")
 
     if estimate.is_acyclic and estimate.is_free_connex:
-        return QueryPlan(
-            kind=PlanKind.YANNAKAKIS,
-            query=query, statistics=statistics, estimate=estimate,
-            runner=lambda database: _run_yannakakis(query, database),
+        return realize_plan(
+            PlanKind.YANNAKAKIS, query, statistics, estimate=estimate,
             reason="the query is free-connex acyclic: Yannakakis runs in O(N + OUT)",
-        )
+            max_variables=max_variables)
     if estimate.adaptive_gain > adaptive_threshold:
-        return QueryPlan(
-            kind=PlanKind.ADAPTIVE_PANDA,
-            query=query, statistics=statistics, estimate=estimate,
-            runner=lambda database: _run_adaptive(query, database, statistics, max_variables),
+        return realize_plan(
+            PlanKind.ADAPTIVE_PANDA, query, statistics, estimate=estimate,
+            decompositions=estimate.decompositions,
             reason=(f"subw = {estimate.subw_exponent:.4g} < fhtw = "
                     f"{estimate.fhtw_exponent:.4g}: data partitioning across multiple "
                     "tree decompositions is strictly better than any single one"),
-        )
-    best_td = estimate.fhtw.best_decomposition
-    return QueryPlan(
-        kind=PlanKind.STATIC_TD,
-        query=query, statistics=statistics, estimate=estimate,
-        runner=lambda database: _run_static(query, database, best_td),
+            max_variables=max_variables)
+    return realize_plan(
+        PlanKind.STATIC_TD, query, statistics, estimate=estimate,
+        decomposition=estimate.fhtw.best_decomposition,
         reason=(f"a single tree decomposition already attains the submodular width "
                 f"({estimate.fhtw_exponent:.4g})"),
-    )
+        max_variables=max_variables, validate=False)
 
 
 def plan_and_execute(query: ConjunctiveQuery, database: Database,
@@ -114,14 +187,23 @@ def plan_and_execute(query: ConjunctiveQuery, database: Database,
                      backend: str | None = None) -> tuple[QueryPlan, ExecutionResult]:
     """Convenience wrapper: plan, execute, and return both.
 
+    Routes through a single-shot :class:`repro.engine.Engine`, so the query
+    is costed exactly once (one ``estimate_costs`` call feeds both the plan
+    choice and the runner) and benefits from the engine's canonical plan
+    fingerprinting.  For repeated traffic keep a long-lived engine instead —
+    this wrapper deliberately starts with a cold plan cache on every call.
+
     ``backend`` optionally pins the execution to a storage engine (e.g.
     ``"columnar"`` for cached indexes); the database is converted before the
     plan runs.
     """
-    chosen = plan(query, statistics, max_variables=max_variables)
+    from repro.engine import Engine
+
     if backend is not None and database.backend_kind != backend:
         database = database.with_backend(backend)
-    return chosen, chosen.execute(database)
+    engine = Engine(database, max_variables=max_variables)
+    prepared = engine.prepare(query, statistics=statistics)
+    return prepared.plan, prepared.execute()
 
 
 # ---------------------------------------------------------------------------
@@ -135,17 +217,21 @@ def _run_yannakakis(query: ConjunctiveQuery, database: Database) -> ExecutionRes
 
 
 def _run_static(query: ConjunctiveQuery, database: Database,
-                decomposition) -> ExecutionResult:
+                decomposition, validate: bool = True) -> ExecutionResult:
     counter = WorkCounter()
-    answer, report = evaluate_static_plan(query, database, decomposition, counter=counter)
+    answer, report = evaluate_static_plan(query, database, decomposition,
+                                          counter=counter, validate=validate)
     return ExecutionResult(answer=answer, counter=counter, details=report)
 
 
 def _run_adaptive(query: ConjunctiveQuery, database: Database,
-                  statistics: ConstraintSet, max_variables: int) -> ExecutionResult:
-    answer, report = evaluate_adaptive(query, database, statistics=statistics,
-                                       max_variables=max_variables)
+                  statistics: ConstraintSet, max_variables: int,
+                  decompositions: Sequence[TreeDecomposition] | None = None,
+                  ) -> ExecutionResult:
     counter = WorkCounter()
-    counter.merge(report.counter)
+    answer, report = evaluate_adaptive(query, database, statistics=statistics,
+                                       decompositions=decompositions,
+                                       max_variables=max_variables,
+                                       counter=counter)
     counter.max_intermediate = max(counter.max_intermediate, report.max_intermediate)
     return ExecutionResult(answer=answer, counter=counter, details=report)

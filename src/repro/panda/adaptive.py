@@ -78,12 +78,16 @@ class AdaptiveReport:
 def evaluate_adaptive(query: ConjunctiveQuery, database: Database,
                       statistics: ConstraintSet | None = None,
                       decompositions: Sequence[TreeDecomposition] | None = None,
-                      max_variables: int = 9) -> tuple[Relation, AdaptiveReport]:
+                      max_variables: int = 9,
+                      counter: WorkCounter | None = None) -> tuple[Relation, AdaptiveReport]:
     """Evaluate a CQ with the adaptive (multi-TD) PANDA plan.
 
     ``statistics`` defaults to the cardinality constraints measured on the
     database (one per atom); richer statistics (degree constraints, FDs) yield
-    tighter bounds and finer partitioning.
+    tighter bounds and finer partitioning.  Pass ``decompositions`` (e.g. the
+    ones a cost estimate already enumerated) to skip re-enumerating them, and
+    ``counter`` to have the report account work directly into the caller's
+    counter instead of a private one.
     """
     if statistics is None:
         statistics = collect_statistics(database, query, include_degrees=False)
@@ -93,6 +97,8 @@ def evaluate_adaptive(query: ConjunctiveQuery, database: Database,
     if not decompositions:
         raise ValueError("the query admits no free-connex tree decomposition")
     report = AdaptiveReport(decompositions=decompositions)
+    if counter is not None:
+        report.counter = counter
 
     # A guaranteed-empty query needs no proof steps: any empty atom makes the
     # body unsatisfiable, so return the empty answer without running a DDR.

@@ -147,6 +147,46 @@ class ConjunctiveQuery:
         """The variable sets of the atoms, in atom order."""
         return tuple(atom.varset for atom in self.atoms)
 
+    def canonicalize(self) -> tuple["ConjunctiveQuery", dict[str, str]]:
+        """A variable-renaming-invariant canonical form, plus the renaming.
+
+        Returns ``(canonical_query, renaming)`` where ``renaming`` maps this
+        query's variable names onto the canonical names ``v0, v1, ...``.
+        Atoms are ordered by ``(relation, arity, structural signature)`` —
+        the signature (:func:`~repro.query.hypergraph.vertex_signatures`)
+        describes how each variable position is shared between atoms without
+        mentioning variable names — and canonical names are assigned in first
+        occurrence order over that ordering.  Consequently two queries that
+        differ only by a variable renaming (or by reordering atoms with
+        distinct signatures) canonicalize to *equal* queries, which is what
+        the engine's plan cache keys on; self-join atoms with identical
+        signatures keep their relative order, so the form stays deterministic
+        for them too.
+        """
+        from repro.query.hypergraph import vertex_signatures
+
+        signatures = vertex_signatures(
+            [(atom.relation, atom.variables) for atom in self.atoms])
+
+        def atom_key(atom: Atom) -> tuple:
+            return (atom.relation, len(atom.variables),
+                    tuple(signatures[v] for v in atom.variables))
+
+        ordered = sorted(self.atoms, key=atom_key)
+        renaming: dict[str, str] = {}
+        for atom in ordered:
+            for variable in atom.variables:
+                if variable not in renaming:
+                    renaming[variable] = f"v{len(renaming)}"
+        canonical_atoms = [Atom(atom.relation,
+                                tuple(renaming[v] for v in atom.variables))
+                           for atom in ordered]
+        canonical_free = sorted(renaming[v] for v in self._free)
+        canonical = ConjunctiveQuery(canonical_atoms,
+                                     free_variables=canonical_free,
+                                     name="Q_canonical")
+        return canonical, renaming
+
     # -------------------------------------------------------------- rendering
     def __str__(self) -> str:
         head = f"{self.name}({', '.join(sorted(self._free))})"

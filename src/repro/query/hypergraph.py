@@ -198,3 +198,26 @@ def is_free_connex(edges: Sequence[Iterable[str]], free: Iterable[str]) -> bool:
 def query_hypergraph(query) -> Hypergraph:
     """The hypergraph of a :class:`~repro.query.cq.ConjunctiveQuery`."""
     return Hypergraph([atom.varset for atom in query.atoms])
+
+
+def vertex_signatures(labeled_edges: Sequence[tuple[str, Sequence[str]]],
+                      ) -> dict[str, tuple[tuple[str, int], ...]]:
+    """Renaming-invariant structural signatures of the vertices.
+
+    ``labeled_edges`` is a sequence of ``(label, ordered vertices)`` pairs —
+    for a query, ``(relation symbol, atom variables)``.  A vertex's signature
+    is the sorted multiset of its ``(label, position)`` occurrences, which
+    mentions no vertex names: two edge lists that differ only by a vertex
+    renaming assign equal signatures to corresponding vertices.
+
+    :meth:`~repro.query.cq.ConjunctiveQuery.canonicalize` sorts atoms by
+    these signatures so that the canonical variable numbering (and therefore
+    the engine's plan-cache fingerprint) does not depend on the names the
+    query author picked.
+    """
+    occurrences: dict[str, list[tuple[str, int]]] = {}
+    for label, vertices in labeled_edges:
+        for position, vertex in enumerate(vertices):
+            occurrences.setdefault(vertex, []).append((label, position))
+    return {vertex: tuple(sorted(entries))
+            for vertex, entries in occurrences.items()}

@@ -18,6 +18,7 @@ from repro.relational.storage import (
     register_backend,
     resolve_annotated_backend,
     set_default_backend,
+    stable_row_hash,
     using_backend,
 )
 from repro.relational.relation import Relation, relation_from_pairs
@@ -55,6 +56,7 @@ __all__ = [
     "register_backend",
     "get_default_backend",
     "set_default_backend",
+    "stable_row_hash",
     "using_backend",
     "Relation",
     "relation_from_pairs",

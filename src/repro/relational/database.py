@@ -36,6 +36,7 @@ class Database:
         self._backend_kind = backend
         self._bind_cache: dict[tuple, tuple[Relation, object]] = {}
         self._annotated_cache: dict[tuple, tuple] = {}
+        self._revision = 0
         if isinstance(relations, Mapping):
             for name, relation in relations.items():
                 self.add(relation, name=name)
@@ -48,12 +49,37 @@ class Database:
         """The storage engine every relation is pinned to (None = mixed)."""
         return self._backend_kind
 
+    @property
+    def revision(self) -> int:
+        """A counter bumped whenever a relation is registered or replaced.
+
+        The engine keys its measured-statistics memo and prepared-query
+        validity on it: a prepared plan observed at revision ``r`` is
+        transparently re-resolved once the database moves past ``r``.
+        (Facade-level row mutation forks the relation's backend instead of
+        going through :meth:`add`; consumers that need to see those too
+        should also compare :meth:`backend_snapshot`.)
+        """
+        return self._revision
+
+    def backend_snapshot(self) -> tuple[tuple[str, object], ...]:
+        """``(name, backend object)`` pairs, for identity-based cache validation.
+
+        Copy-on-write mutation replaces a relation's backend object, so a
+        snapshot captured alongside a derived result (memoized statistics, a
+        prepared query) stays valid exactly as long as every stored relation
+        still carries the same backend.
+        """
+        return tuple((name, self._relations[name]._backend)
+                     for name in self.relation_names())
+
     def add(self, relation: Relation, name: str | None = None) -> None:
         """Register a relation under ``name`` (defaults to the relation's name)."""
         if self._backend_kind is not None:
             relation = relation.with_backend(self._backend_kind)
         key = name or relation.name
         self._relations[key] = relation
+        self._revision += 1
         for cached_key in [k for k in self._bind_cache if k[0] == key]:
             del self._bind_cache[cached_key]
         for cached_key in [k for k in self._annotated_cache if k[0] == key]:

@@ -8,6 +8,7 @@ intermediate tuples — the quantity the paper's cost model bounds.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -22,27 +23,59 @@ class WorkCounter:
     ``intermediate_tuples`` accumulates the sizes of every materialised
     intermediate relation; ``max_intermediate`` tracks the largest one, which
     is exactly the cost measure of Section 4.1 of the paper.
+
+    Counters are thread-safe: every update happens under an internal lock,
+    so a counter shared between the engine's partition-parallel shard workers
+    never loses counts.  (The engine's default is still one counter per
+    worker, merged at join — :meth:`merge` snapshots the source under its own
+    lock, so merging is safe in either topology.)
     """
 
     intermediate_tuples: int = 0
     max_intermediate: int = 0
     materializations: int = 0
     notes: list[str] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, relation: Relation, note: str | None = None) -> Relation:
         size = len(relation)
-        self.intermediate_tuples += size
-        self.max_intermediate = max(self.max_intermediate, size)
-        self.materializations += 1
-        if note:
-            self.notes.append(f"{note}: {size} tuples")
+        self.tally(size, size, note=f"{note}: {size} tuples" if note else None)
         return relation
 
+    def tally(self, tuples: int, largest: int, note: str | None = None) -> None:
+        """Account one batch of work (e.g. a whole join's exploration) atomically."""
+        with self._lock:
+            self.intermediate_tuples += tuples
+            self.max_intermediate = max(self.max_intermediate, largest)
+            self.materializations += 1
+            if note:
+                self.notes.append(note)
+
     def merge(self, other: "WorkCounter") -> None:
-        self.intermediate_tuples += other.intermediate_tuples
-        self.max_intermediate = max(self.max_intermediate, other.max_intermediate)
-        self.materializations += other.materializations
-        self.notes.extend(other.notes)
+        # Snapshot under the source lock, apply under ours: never nested, so
+        # two threads merging in opposite directions cannot deadlock.
+        with other._lock:
+            tuples = other.intermediate_tuples
+            largest = other.max_intermediate
+            materializations = other.materializations
+            notes = list(other.notes)
+        with self._lock:
+            self.intermediate_tuples += tuples
+            self.max_intermediate = max(self.max_intermediate, largest)
+            self.materializations += materializations
+            self.notes.extend(notes)
+
+    # Locks cannot cross pickle (process-parallel shard payloads) — drop the
+    # lock on the way out and give the copy a fresh one.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 def join_all(relations: Sequence[Relation],

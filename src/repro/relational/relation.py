@@ -23,6 +23,7 @@ from repro.relational.storage import (
     StorageBackend,
     get_default_backend,
     resolve_backend,
+    stable_row_hash,
 )
 
 
@@ -280,6 +281,27 @@ class Relation:
         light = self._derive(f"{self.name}_light", self.columns, light_rows, unique=True)
         heavy = self._derive(f"{self.name}_heavy", self.columns, heavy_rows, unique=True)
         return light, heavy
+
+    def hash_shards(self, count: int) -> list["Relation"]:
+        """Partition into ``count`` disjoint relations by a stable row hash.
+
+        The shards cover the relation exactly (every row lands in one shard),
+        and the assignment uses :func:`~repro.relational.storage.stable_row_hash`
+        so it is identical across worker processes — the invariant the
+        engine's partition-parallel execution relies on to merge shard
+        answers into exactly the serial result.  ``count == 1`` returns a
+        backend-sharing copy (no repartitioning cost).
+        """
+        if count < 1:
+            raise ValueError("the shard count must be at least 1")
+        if count == 1:
+            return [self.copy()]
+        buckets: list[list[tuple]] = [[] for _ in range(count)]
+        for row in self._backend.iter_rows():
+            buckets[stable_row_hash(row) % count].append(row)
+        return [self._derive(f"{self.name}[{index}/{count}]", self.columns,
+                             bucket, unique=True)
+                for index, bucket in enumerate(buckets)]
 
     # ------------------------------------------------------------------ joins
     def prefix_trie(self, positions: Sequence[int]) -> list[dict[tuple, set]]:

@@ -39,11 +39,26 @@ the benchmarks use to make cached index reuse observable.
 
 from __future__ import annotations
 
+import threading
+import zlib
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping, Sequence
 
 
 IndexKey = tuple[int, ...]
+
+
+def stable_row_hash(row: tuple) -> int:
+    """A process-independent hash of a row.
+
+    Python's builtin ``hash`` is salted per process for strings, so it cannot
+    decide which shard a row belongs to when shards are evaluated by worker
+    *processes*: the parent and the workers would disagree.  CRC32 over the
+    row's ``repr`` is deterministic across processes and Python versions,
+    which is what partition-parallel execution needs so that hash-partitioning
+    a relation yields the same shards everywhere.
+    """
+    return zlib.crc32(repr(row).encode("utf-8"))
 
 
 class StorageBackend:
@@ -62,6 +77,7 @@ class StorageBackend:
     def __init__(self) -> None:
         self.shared = False
         self.stats: dict[str, int] = {}
+        self._stats_lock = threading.Lock()
 
     # -- bookkeeping ---------------------------------------------------------
     def share(self) -> "StorageBackend":
@@ -70,7 +86,21 @@ class StorageBackend:
         return self
 
     def _count(self, event: str) -> None:
-        self.stats[event] = self.stats.get(event, 0) + 1
+        # Backends are shared across the engine's thread-parallel shard
+        # workers; an unguarded read-modify-write here would lose counts
+        # exactly like the WorkCounter race this increment mirrors.
+        with self._stats_lock:
+            self.stats[event] = self.stats.get(event, 0) + 1
+
+    # Locks cannot cross pickle; regrow one on the other side.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     # -- core storage (must be implemented) -----------------------------------
     def __len__(self) -> int:
@@ -500,6 +530,7 @@ class AnnotatedBackend:
     def __init__(self) -> None:
         self.shared = False
         self.stats: dict[str, int] = {}
+        self._stats_lock = threading.Lock()
 
     # -- bookkeeping ---------------------------------------------------------
     def share(self) -> "AnnotatedBackend":
@@ -508,7 +539,17 @@ class AnnotatedBackend:
         return self
 
     def _count(self, event: str) -> None:
-        self.stats[event] = self.stats.get(event, 0) + 1
+        with self._stats_lock:
+            self.stats[event] = self.stats.get(event, 0) + 1
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     # -- core storage (must be implemented) -----------------------------------
     def __len__(self) -> int:

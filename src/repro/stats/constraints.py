@@ -218,6 +218,36 @@ class ConstraintSet:
         return [c for c in self if c.guard == relation]
 
     # ----------------------------------------------------------- identity
+    def constraint_descriptors(self, rename=None) -> list[tuple]:
+        """Hashable descriptors of the constraints, one per constraint.
+
+        ``rename`` optionally maps every variable name before it enters the
+        descriptor — the engine fingerprints statistics in a query's
+        *canonical* variable space this way.  This is the single source of
+        truth for what identifies a constraint: both :meth:`fingerprint` and
+        the engine's renaming-aware fingerprint hash these descriptors, so a
+        new constraint field only needs to be added here to reach every
+        cache key.
+        """
+        if rename is None:
+            rename = lambda variable: variable  # noqa: E731
+
+        def mapped(variables) -> tuple[str, ...]:
+            return tuple(sorted(rename(variable) for variable in variables))
+
+        descriptors = []
+        for constraint in self:
+            if isinstance(constraint, DegreeConstraint):
+                descriptors.append(("deg", mapped(constraint.target),
+                                    mapped(constraint.given),
+                                    repr(constraint.bound), constraint.guard or ""))
+            else:
+                descriptors.append(("lpnorm", mapped(constraint.target),
+                                    mapped(constraint.given),
+                                    repr(constraint.order),
+                                    repr(constraint.bound), constraint.guard or ""))
+        return descriptors
+
     def fingerprint(self) -> str:
         """A content fingerprint of the statistics (order-insensitive).
 
@@ -228,20 +258,9 @@ class ConstraintSet:
         regions no matter which object carries them.  Mutating the set (via
         :meth:`add`) changes the fingerprint.
         """
-        descriptors = []
-        for constraint in self:
-            if isinstance(constraint, DegreeConstraint):
-                descriptors.append(("deg", tuple(sorted(constraint.target)),
-                                    tuple(sorted(constraint.given)),
-                                    repr(constraint.bound), constraint.guard or ""))
-            else:
-                descriptors.append(("lpnorm", tuple(sorted(constraint.target)),
-                                    tuple(sorted(constraint.given)),
-                                    repr(constraint.order),
-                                    repr(constraint.bound), constraint.guard or ""))
         digest = hashlib.sha1()
         digest.update(repr(self.base).encode())
-        digest.update(repr(sorted(descriptors)).encode())
+        digest.update(repr(sorted(self.constraint_descriptors())).encode())
         return digest.hexdigest()
 
     # --------------------------------------------------------------- scaling
