@@ -5,6 +5,11 @@ System-R-style optimizer searches left-deep orders using cardinality
 estimates.  These plans are the baseline that worst-case optimal joins and
 PANDA improve on: on cyclic queries with skew their intermediate results can
 be asymptotically larger than the AGM / polymatroid bounds.
+
+Each pairwise join goes through :meth:`Relation.hash_join`, which — on
+kernel-capable backends (:mod:`repro.relational.kernels`) — runs as a
+vectorized sort/searchsorted match over dictionary-encoded code arrays
+instead of a Python probe loop, with bit-identical output rows.
 """
 
 from __future__ import annotations

@@ -19,6 +19,13 @@ projected out of a materialised intermediate.  Under the columnar annotated
 engine, repeated evaluation of the same query family against the same
 database reuses every base-factor index — the speedup measured by
 ``benchmarks/bench_faq_backends.py``.
+
+Each elimination step is a :meth:`AnnotatedRelation.join_marginalize`, which
+on kernel-capable backends (:mod:`repro.relational.kernels`) fuses the
+⊗-join and the ⊕-fold into vectorized grouped reductions
+(``np.add/minimum/maximum.reduceat``) for the exactly-representable
+semirings (counting, boolean, min-plus, max-min, max-times); anything else
+— e.g. the top-k min-plus semiring — falls back to the reference path.
 """
 
 from __future__ import annotations

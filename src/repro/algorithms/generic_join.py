@@ -19,6 +19,13 @@ each relation's variables are kept sorted by the global order, the set of
 relations constraining a level — and the trie depth and prefix positions each
 one is probed at — depends only on the level, never on the values bound so
 far, so all of it is resolved once before the recursion starts.
+
+When every bound relation lives on a kernel-capable backend (see
+:mod:`repro.relational.kernels`), the recursion is replaced wholesale by a
+breadth-first vectorized frontier over dictionary-encoded code arrays — same
+answers, same reported work count, but the per-level intersection probes run
+as NumPy ``searchsorted`` batches instead of per-tuple hash lookups.
+``using_kernels(False)`` restores the depth-first trie path.
 """
 
 from __future__ import annotations
@@ -26,9 +33,11 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.query.cq import ConjunctiveQuery
+from repro.relational import kernels
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
+from repro.relational.storage import ColumnarBackend
 
 
 class _IndexedRelation:
@@ -79,12 +88,34 @@ def generic_join(query: ConjunctiveQuery, database: Database,
     if set(order) != set(query.variables):
         raise ValueError("variable_order must mention every query variable exactly once")
     bound = database.bind_query(query)
-    indexed = [_IndexedRelation(relation, order) for relation in bound]
-    plans = _probe_plans(indexed, order)
     free = sorted(query.free_variables)
     order_index = {variable: level for level, variable in enumerate(order)}
     free_levels = tuple(order_index[v] for v in free)
     depth_total = len(order)
+    if bound and kernels.kernel_ready(*[r._backend for r in bound]):
+        # Breadth-first vectorized enumeration: the frontier of partial
+        # assignments lives as per-level int64 code arrays, extended and
+        # intersected with array kernels.  The per-level frontier sizes sum to
+        # exactly the number of partial assignments the depth-first reference
+        # enters, so the reported work count is identical.
+        specs = []
+        for relation in bound:
+            rel_vars = [v for v in order if v in relation.column_set]
+            specs.append((relation._backend,
+                          tuple(relation.column_index(v) for v in rel_vars),
+                          tuple(order_index[v] for v in rel_vars)))
+        kernel_result = kernels.wcoj(specs, depth_total, free_levels)
+        if kernel_result is not None:
+            encoded, kernel_explored = kernel_result
+            result = Relation._from_backend(
+                query.name, tuple(free), ColumnarBackend.from_encoded(*encoded))
+            if counter is not None:
+                counter.tally(kernel_explored, len(result),
+                              note=f"generic join explored {kernel_explored} "
+                                   "partial assignments")
+            return result
+    indexed = [_IndexedRelation(relation, order) for relation in bound]
+    plans = _probe_plans(indexed, order)
     output_rows: set[tuple] = set()
     values: list = [None] * depth_total
     explored = 0

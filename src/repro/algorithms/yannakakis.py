@@ -11,6 +11,12 @@ the behaviour experiment E6 measures.
 The same routine is reused to evaluate the acyclic query over the *bags* of a
 tree decomposition — rule (12) for static plans and rule (29) for adaptive
 (PANDA) plans — by passing the bag relations as ``relations``.
+
+Both passes are built from :meth:`Relation.semijoin` and
+:meth:`Relation.hash_join`, so on kernel-capable backends
+(:mod:`repro.relational.kernels`) the semijoin reduction and the bottom-up
+joins run as vectorized array kernels over dictionary-encoded columns —
+same answers, no per-tuple Python loop.
 """
 
 from __future__ import annotations

@@ -47,6 +47,7 @@ from repro.optimizer.planner import (
 )
 from repro.query.cq import ConjunctiveQuery
 from repro.relational.database import Database
+from repro.relational.kernels import kernel_stats, kernel_stats_delta
 from repro.stats.collect import collect_statistics
 from repro.stats.constraints import ConstraintSet
 
@@ -71,6 +72,9 @@ class EngineStats:
     #: Aggregated LP-substrate cache deltas (region/flow/solution reuse)
     #: observed during planning and execution.
     lp_cache_events: dict[str, int] = field(default_factory=dict)
+    #: Aggregated vectorized-kernel usage/fallback deltas (kernel joins and
+    #: marginals taken, reference-path fallbacks) observed during executions.
+    kernel_cache_events: dict[str, int] = field(default_factory=dict)
 
     def absorb_events(self, target: str, delta: dict[str, int]) -> None:
         bucket = getattr(self, target)
@@ -92,6 +96,7 @@ class EngineStats:
             "wall_time_seconds": self.wall_time_seconds,
             "storage_cache_events": dict(self.storage_cache_events),
             "lp_cache_events": dict(self.lp_cache_events),
+            "kernel_cache_events": dict(self.kernel_cache_events),
         }
 
     def describe(self) -> str:
@@ -103,7 +108,8 @@ class EngineStats:
                  f"{self.statistics_reused} reused; "
                  f"{self.invalidations} invalidations"]
         for label, bucket in (("storage caches", self.storage_cache_events),
-                              ("lp caches", self.lp_cache_events)):
+                              ("lp caches", self.lp_cache_events),
+                              ("kernels", self.kernel_cache_events)):
             if bucket:
                 events = ", ".join(f"{key}={value}"
                                    for key, value in sorted(bucket.items()))
@@ -353,6 +359,7 @@ class Engine:
         database = self.database if database is None else database
         storage_before = database.cache_stats()
         lp_before = lp_cache_stats()
+        kernel_before = kernel_stats()
         started = time.perf_counter()
         result = None
         if shards > 1:
@@ -370,6 +377,8 @@ class Engine:
                                  _dict_delta(database.cache_stats(),
                                              storage_before))
         self.stats.absorb_events("lp_cache_events", lp_cache_delta(lp_before))
+        self.stats.absorb_events("kernel_cache_events",
+                                 kernel_stats_delta(kernel_before))
         return result
 
 

@@ -103,10 +103,25 @@ def merge_shard_results(query: ConjunctiveQuery, shard_results: Sequence,
 # ---------------------------------------------------------------------------
 
 def _database_payload(database: Database) -> dict:
-    """A picklable description of a database: raw rows, no backend objects."""
-    return {name: (database[name].columns, list(database[name].rows),
-                   database[name].backend_kind)
-            for name in database.relation_names()}
+    """A picklable description of a database, no backend objects.
+
+    Kernel-capable relations ship as ``("encoded", ...)`` — per-column decode
+    lists plus compact ``int64`` code arrays — instead of Python row tuples;
+    everything else falls back to ``("rows", ...)``.  Workers rebuild
+    identical relations either way because dictionary codes are a
+    deterministic function of the column's value set.
+    """
+    payload = {}
+    for name in database.relation_names():
+        relation = database[name]
+        encoded = relation.encoded_payload()
+        if encoded is not None:
+            payload[name] = ("encoded", relation.columns, encoded,
+                             relation.backend_kind)
+        else:
+            payload[name] = ("rows", relation.columns, list(relation.rows),
+                             relation.backend_kind)
+    return payload
 
 
 def _shard_payload(plan, shard_db: Database) -> dict:
@@ -133,10 +148,18 @@ def _execute_shard(payload: dict):
     """
     from repro.decompositions.treedecomp import TreeDecomposition
     from repro.optimizer.planner import realize_plan
+    from repro.relational.storage import ColumnarBackend
 
-    database = Database({name: Relation(name, columns, rows, backend=backend)
-                         for name, (columns, rows, backend)
-                         in payload["relations"].items()})
+    relations = {}
+    for name, (tag, columns, data, backend) in payload["relations"].items():
+        if tag == "encoded":
+            decodes, code_arrays, length = data
+            relations[name] = Relation._from_backend(
+                name, columns,
+                ColumnarBackend.from_encoded(decodes, code_arrays, length))
+        else:
+            relations[name] = Relation(name, columns, data, backend=backend)
+    database = Database(relations)
     decomposition = (TreeDecomposition(payload["best_bags"])
                      if payload["best_bags"] is not None else None)
     decompositions = tuple(TreeDecomposition(bags)

@@ -5,6 +5,15 @@ semantics reference, ``"columnar"`` adds cached indexes); see
 :mod:`repro.relational.storage` for backend selection helpers.
 """
 
+from repro.relational.kernels import (
+    kernel_ready,
+    kernel_stats,
+    kernel_stats_delta,
+    kernels_enabled,
+    reset_kernel_stats,
+    set_kernels_enabled,
+    using_kernels,
+)
 from repro.relational.storage import (
     ANNOTATED_BACKENDS,
     BACKENDS,
@@ -58,6 +67,13 @@ __all__ = [
     "set_default_backend",
     "stable_row_hash",
     "using_backend",
+    "kernel_ready",
+    "kernel_stats",
+    "kernel_stats_delta",
+    "kernels_enabled",
+    "reset_kernel_stats",
+    "set_kernels_enabled",
+    "using_kernels",
     "Relation",
     "relation_from_pairs",
     "Database",

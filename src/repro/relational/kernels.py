@@ -1,0 +1,870 @@
+"""Vectorized NumPy kernels over dictionary-encoded columns.
+
+The columnar backends cache the *right* access structures, but until this
+module the joins themselves still ran tuple-at-a-time in Python.  The kernels
+here move the hot loops into NumPy over the backends' dictionary-encoded
+``int64`` code arrays (see
+:class:`~repro.relational.storage.ColumnDictionary`):
+
+* **encode** — each participating column is dictionary-encoded once (cached
+  on the backend, COW-shared like the hash indexes); codes of one side are
+  translated into the other side's code space through a memoized translation
+  table, so equality of codes is equality of values;
+* **kernel** — hash joins and semijoins become sort + ``searchsorted`` range
+  lookups, projections become ``np.unique`` over packed keys, the generic
+  worst-case-optimal join becomes a breadth-first frontier of per-level code
+  arrays, and per-semiring ⊕-marginalization becomes
+  ``np.add/minimum/maximum.reduceat`` over sorted groups;
+* **decode** — set-semantics outputs *stay encoded*: kernels return
+  ``(decode lists, int64 code arrays, length)`` triples that become
+  ``ColumnarBackend.from_encoded`` backends, so a chain of joins, semijoins
+  and projections never materialises intermediate Python tuples and each
+  derived backend realises its own dictionaries vectorized
+  (:meth:`ColumnDictionary.from_codes`).  Rows are decoded lazily — by
+  fancy-indexing object-dtype decode columns and ``zip``-ing the original
+  Python value objects back — only when something actually reads them, so
+  results are bit-identical to the reference ``SetBackend`` path.
+
+Every kernel is *exact or absent*: value domains that cannot be reproduced
+exactly in vector form (non-``int``/``float`` annotations, magnitudes that
+could overflow ``int64`` sums, packed key spaces past ``_PACK_LIMIT``, or a
+semiring without a registered reduction) return ``None`` and the caller falls
+back to the reference Python path.  Usage and fallback counters are collected
+process-wide (:func:`kernel_stats`) and surfaced through
+``EngineStats.kernel_cache_events``; the per-backend encode counters
+(``dictionary_builds``/``dictionary_hits``) flow through
+``Database.cache_stats`` like every other index counter.
+
+The kernels are selected via a backend capability flag
+(``supports_kernels``) plus the process-wide :func:`kernels_enabled` toggle —
+``using_kernels(False)`` restores the reference path everywhere, which is how
+the parity suites and the ``bench_vectorized_kernels`` benchmark compare the
+two implementations.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Sequence
+
+try:  # numpy is a declared runtime dependency, but stay importable without it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    np = None  # type: ignore[assignment]
+
+#: Packed join keys must stay below this bound so Horner-packed ``int64``
+#: keys cannot overflow (tests shrink it to force the fallback path).
+_PACK_LIMIT = 1 << 62
+
+#: Counting-semiring guards: annotation magnitudes and matched-pair counts
+#: small enough that every sum-of-products stays exactly representable in
+#: ``int64`` (values < 2^20, pairwise products < 2^40, sums over < 2^22
+#: terms < 2^62).
+_COUNT_VALUE_LIMIT = 1 << 20
+_COUNT_PAIR_LIMIT = 1 << 22
+
+#: Per-backend kernel memo dicts reset wholesale past this many entries.
+_MEMO_CAPACITY = 512
+
+_enabled = True
+_stats: dict[str, int] = {}
+_stats_lock = threading.Lock()
+
+
+# ---------------------------------------------------------------------------
+# toggle, capability flag, counters
+# ---------------------------------------------------------------------------
+
+def kernels_enabled() -> bool:
+    """Whether the vectorized kernel path is active (and numpy importable)."""
+    return _enabled and np is not None
+
+
+def set_kernels_enabled(flag: bool) -> None:
+    """Switch the process-wide kernel toggle (see :func:`using_kernels`)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+@contextmanager
+def using_kernels(flag: bool):
+    """Temporarily force the kernel toggle (for tests and benchmarks)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def kernel_ready(*backends) -> bool:
+    """True when kernels are on and every backend advertises support."""
+    if not kernels_enabled():
+        return False
+    return all(getattr(backend, "supports_kernels", False)
+               for backend in backends)
+
+
+def _count(event: str, amount: int = 1) -> None:
+    with _stats_lock:
+        _stats[event] = _stats.get(event, 0) + amount
+
+
+def kernel_stats() -> dict[str, int]:
+    """A snapshot of the process-wide kernel usage/fallback counters."""
+    with _stats_lock:
+        return dict(_stats)
+
+
+def kernel_stats_delta(before: dict[str, int]) -> dict[str, int]:
+    """Counter movements since a :func:`kernel_stats` snapshot."""
+    after = kernel_stats()
+    return {event: after.get(event, 0) - before.get(event, 0)
+            for event in set(after) | set(before)}
+
+
+def reset_kernel_stats() -> None:
+    with _stats_lock:
+        _stats.clear()
+
+
+# ---------------------------------------------------------------------------
+# per-backend memos for kernel access structures
+# ---------------------------------------------------------------------------
+
+def _memo(backend, key, build):
+    """Memoize ``build()`` in the backend's kernel-memo dict (if it has one).
+
+    Packed key arrays, sort permutations and member sets are pure functions
+    of a backend's stored rows (plus the target dictionaries' ``uid``s baked
+    into ``key``), so they are cached exactly like the backends' other access
+    structures — until the next mutation — and repeated evaluations only pay
+    the probes.  Build/hit counters flow through the backend's ``stats`` like
+    every other index counter.  ``None`` results (pack overflow) are not
+    cached; those callers fall back anyway.
+    """
+    memos = getattr(backend, "_kernel_memos", None)
+    if memos is None:
+        return build()
+    value = memos.get(key)
+    if value is None:
+        value = build()
+        if value is not None:
+            if len(memos) >= _MEMO_CAPACITY:
+                # Keys embed the counterpart dictionaries' uids, so a
+                # long-lived backend probed by a stream of transient
+                # relations would otherwise accumulate dead entries.
+                memos.clear()
+            memos[key] = value
+            backend._count("kernel_memo_builds")
+    else:
+        backend._count("kernel_memo_hits")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# packing and matching primitives
+# ---------------------------------------------------------------------------
+
+def _pack(columns: Sequence, dims: Sequence[int], length: int):
+    """Horner-pack per-column code arrays into one ``int64`` key per row.
+
+    ``dims[i]`` bounds the code space of ``columns[i]``; returns ``None``
+    when the combined key space could overflow (callers then fall back).
+    An empty column list packs every row to key ``0``.
+    """
+    if not columns:
+        return np.zeros(length, dtype=np.int64)
+    space = 1
+    for dim in dims:
+        space *= max(int(dim), 1)
+        if space > _PACK_LIMIT:
+            return None
+    packed = columns[0].astype(np.int64, copy=True)
+    for column, dim in zip(columns[1:], dims[1:]):
+        packed *= max(int(dim), 1)
+        packed += column
+    return packed
+
+
+#: Dense lookup tables over the packed key space replace ``searchsorted``
+#: probes when the space is at most this factor times the row count (beyond
+#: it, table construction and memory would dominate the probes they save).
+_LUT_SPACE_FACTOR = 8
+_LUT_SPACE_FLOOR = 1 << 16
+
+#: Memo sentinel: the packed key space is too large for a dense table.
+_TOO_BIG = "too-big"
+
+
+def _lut_capacity(rows: int) -> int:
+    return max(_LUT_SPACE_FLOOR, _LUT_SPACE_FACTOR * max(rows, 1))
+
+
+def _expand_ranges(order, starts, counts):
+    """Expand per-right-row equal ranges of the sorted left side into pairs."""
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    right_idx = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    block_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(block_starts, counts)
+    left_idx = order[np.repeat(starts, counts) + within]
+    return left_idx, right_idx
+
+
+def _match_pairs(left, left_key, dims, right_keys):
+    """All (left row, right row) index pairs with equal packed keys.
+
+    The left side's (memoized) stable sort permutation gives each right key
+    an equal range — found through a dense start/count lookup table when the
+    packed key space is small (one gather per side), through two
+    ``searchsorted`` probes otherwise — and the ranges expand without a
+    Python loop.  Negative right keys (untranslatable values) match nothing
+    because left keys are always non-negative codes.
+    """
+    sorted_packed = _sorted_self_keys(left, left_key)
+    order, sorted_keys = sorted_packed
+    lut = _range_lut(left, left_key, dims)
+    if lut is not _TOO_BIG:
+        starts_lut, counts_lut = lut
+        # Slot `space` is a zero-count sentinel for untranslatable rows.
+        probes = np.where(right_keys < 0, starts_lut.size - 1, right_keys)
+        return _expand_ranges(order, starts_lut[probes], counts_lut[probes])
+    starts = np.searchsorted(sorted_keys, right_keys, side="left")
+    ends = np.searchsorted(sorted_keys, right_keys, side="right")
+    return _expand_ranges(order, starts, ends - starts)
+
+
+def _range_lut(backend, positions, dims):
+    """Memoized ``(starts, counts)`` tables over the packed key space.
+
+    ``starts[k]``/``counts[k]`` locate key ``k``'s equal range in the
+    backend's sorted key permutation; the extra final slot holds an empty
+    range for the ``-1`` sentinel.  Returns :data:`_TOO_BIG` when the space
+    does not fit the dense-table budget.
+    """
+    space = 1
+    for dim in dims:
+        space *= max(int(dim), 1)
+    if space > _lut_capacity(len(backend)):
+        return _TOO_BIG
+
+    def build():
+        _, sorted_keys = _sorted_self_keys(backend, positions)
+        counts = np.bincount(sorted_keys, minlength=space).astype(np.int64)
+        starts = np.cumsum(counts) - counts
+        return (np.append(starts, 0), np.append(counts, 0))
+    return _memo(backend, ("ranges", positions), build)
+
+
+def _member_mask(keys, members):
+    """Boolean mask of ``keys`` present in sorted-unique ``members``."""
+    if members.size == 0:
+        return np.zeros(keys.shape, dtype=bool)
+    pos = np.searchsorted(members, keys)
+    pos_clipped = np.minimum(pos, members.size - 1)
+    return (members[pos_clipped] == keys) & (pos < members.size)
+
+
+def _self_keys(backend, positions):
+    """Packed keys of ``positions`` in the backend's own code space (memoized).
+
+    Returns ``(keys, dims)`` or ``None`` on pack overflow.
+    """
+    def build():
+        dicts = [backend.dictionary(p) for p in positions]
+        dims = tuple(len(d.decode) for d in dicts)
+        keys = _pack([d.codes_array() for d in dicts], dims, len(backend))
+        if keys is None:
+            return None
+        return keys, dims
+    return _memo(backend, ("pack", positions), build)
+
+
+def _sorted_self_keys(backend, positions):
+    """The memoized stable sort of :func:`_self_keys` — the join build side.
+
+    Returns ``(order, sorted_keys)`` or ``None`` on pack overflow.
+    """
+    def build():
+        packed = _self_keys(backend, positions)
+        if packed is None:
+            return None
+        keys, _ = packed
+        order = np.argsort(keys, kind="stable")
+        return order, keys[order]
+    return _memo(backend, ("sorted", positions), build)
+
+
+def _translated_keys(right, right_key, left_dicts, dims):
+    """``right``'s key columns packed in the *left* dictionaries' code space.
+
+    Memoized per ``(positions, target dictionary uids)`` — for repeated
+    evaluations against the same stored relations the translation, packing
+    and masking all happen once.  Rows holding values unknown to the left get
+    key ``-1``; returns ``None`` on pack overflow.
+    """
+    def build():
+        right_cols = []
+        invalid = None
+        for left_dict, position in zip(left_dicts, right_key):
+            right_dict = right.dictionary(position)
+            codes = right_dict.translate_to(left_dict)[right_dict.codes_array()]
+            missing = codes < 0
+            if missing.any():
+                invalid = missing if invalid is None else (invalid | missing)
+                codes = np.where(missing, 0, codes)
+            right_cols.append(codes)
+        right_keys = _pack(right_cols, dims, len(right))
+        if right_keys is None:
+            return None
+        if invalid is not None:
+            right_keys = np.where(invalid, -1, right_keys)
+        return right_keys
+    uids = tuple(d.uid for d in left_dicts)
+    return _memo(right, ("xlate", right_key, uids), build)
+
+
+def _member_keys(right, right_key, left_dicts, dims):
+    """Sorted distinct translated keys of ``right`` — the semijoin probe set.
+
+    Memoized alongside :func:`_translated_keys`; returns ``None`` on pack
+    overflow.
+    """
+    def build():
+        right_keys = _translated_keys(right, right_key, left_dicts, dims)
+        if right_keys is None:
+            return None
+        return np.unique(right_keys[right_keys >= 0])
+    uids = tuple(d.uid for d in left_dicts)
+    return _memo(right, ("members", right_key, uids), build)
+
+
+def _member_lut(right, right_key, left_dicts, dims, space):
+    """Dense boolean membership table over the packed left key space.
+
+    One gather replaces the semijoin's per-row binary search; memoized like
+    :func:`_member_keys`.  Returns ``None`` on pack overflow.
+    """
+    def build():
+        members = _member_keys(right, right_key, left_dicts, dims)
+        if members is None:
+            return None
+        table = np.zeros(space, dtype=bool)
+        table[members] = True
+        return table
+    uids = tuple(d.uid for d in left_dicts)
+    return _memo(right, ("memberlut", right_key, uids), build)
+
+
+def take_rows(backend, indices, width: int) -> list[tuple]:
+    """Materialise ``backend``'s rows at ``indices`` via decode columns."""
+    if width == 0:
+        return [() for _ in range(int(indices.size))]
+    pieces = [backend.dictionary(p).object_column()[indices]
+              for p in range(width)]
+    return list(zip(*pieces))
+
+
+def gather_encoded(backend, indices, width: int):
+    """``backend``'s rows at ``indices`` as an encoded-columns triple.
+
+    Returns ``(decode lists, int64 code arrays, length)`` — the arguments of
+    ``ColumnarBackend.from_encoded`` — without touching a single Python value
+    object: the parent's decode lists are shared by reference and only the
+    code arrays are gathered.
+    """
+    dictionaries = [backend.dictionary(p) for p in range(width)]
+    return ([d.decode for d in dictionaries],
+            [d.codes_array()[indices] for d in dictionaries],
+            int(indices.size))
+
+
+# ---------------------------------------------------------------------------
+# set-semantics kernels: join, semijoin, projection, sharding
+# ---------------------------------------------------------------------------
+
+def join_encoded(left, right, left_key: Sequence[int],
+                 right_key: Sequence[int], right_extra: Sequence[int],
+                 left_width: int):
+    """Array hash join, output encoded: left columns + right extras.
+
+    The sort + ``searchsorted`` matching makes this a sort-merge join over
+    hashed-free integer keys — both classical kernels collapse into one here
+    because dictionary codes are already dense integers.  Returns an
+    ``(decode lists, code arrays, length)`` triple for
+    ``ColumnarBackend.from_encoded`` (the output rows are unique because the
+    duplicate-free inputs contribute every one of their columns), or ``None``
+    to fall back on pack overflow.
+    """
+    width = left_width + len(right_extra)
+    if len(left) == 0 or len(right) == 0:
+        _count("join_kernels")
+        return ([[] for _ in range(width)],
+                [np.empty(0, dtype=np.int64) for _ in range(width)], 0)
+    left_key = tuple(left_key)
+    packed = _self_keys(left, left_key)
+    if packed is None:
+        _count("join_fallbacks")
+        return None
+    _, dims = packed
+    left_dicts = [left.dictionary(p) for p in left_key]
+    right_keys = _translated_keys(right, tuple(right_key), left_dicts, dims)
+    if right_keys is None:
+        _count("join_fallbacks")
+        return None
+    left_idx, right_idx = _match_pairs(left, left_key, dims, right_keys)
+    _count("join_kernels")
+    if width == 0:
+        # Both sides are zero-column relations; the only possible output row
+        # is the empty tuple, present iff anything matched.
+        return [], [], (1 if left_idx.size else 0)
+    decodes = []
+    codes = []
+    for position in range(left_width):
+        dictionary = left.dictionary(position)
+        decodes.append(dictionary.decode)
+        codes.append(dictionary.codes_array()[left_idx])
+    for position in right_extra:
+        dictionary = right.dictionary(position)
+        decodes.append(dictionary.decode)
+        codes.append(dictionary.codes_array()[right_idx])
+    return decodes, codes, int(left_idx.size)
+
+
+def semijoin_keep(left, right, left_key: Sequence[int],
+                  right_key: Sequence[int]):
+    """Indices of left rows whose key appears in ``right``, or ``None``.
+
+    Works for plain and annotated backends alike (both expose the
+    ``dictionary`` protocol).
+    """
+    if len(left) == 0:
+        _count("semijoin_kernels")
+        return np.empty(0, dtype=np.int64)
+    left_key = tuple(left_key)
+    packed = _self_keys(left, left_key)
+    if packed is None:
+        _count("semijoin_fallbacks")
+        return None
+    left_keys, dims = packed
+    left_dicts = [left.dictionary(p) for p in left_key]
+    space = 1
+    for dim in dims:
+        space *= max(int(dim), 1)
+    if space <= _lut_capacity(len(left)):
+        table = _member_lut(right, tuple(right_key), left_dicts, dims, space)
+        if table is None:
+            _count("semijoin_fallbacks")
+            return None
+        mask = table[left_keys]
+    else:
+        members = _member_keys(right, tuple(right_key), left_dicts, dims)
+        if members is None:
+            _count("semijoin_fallbacks")
+            return None
+        mask = _member_mask(left_keys, members)
+    _count("semijoin_kernels")
+    return np.flatnonzero(mask)
+
+
+def distinct_encoded(backend, positions: Sequence[int]):
+    """The distinct projection onto ``positions``, output encoded.
+
+    Returns an ``(decode lists, code arrays, length)`` triple for
+    ``ColumnarBackend.from_encoded``, or ``None`` on pack overflow.
+    """
+    length = len(backend)
+    if length == 0:
+        _count("projection_kernels")
+        return ([[] for _ in positions],
+                [np.empty(0, dtype=np.int64) for _ in positions], 0)
+    if not positions:
+        _count("projection_kernels")
+        return [], [], 1
+    dicts = [backend.dictionary(p) for p in positions]
+    dims = [len(d.decode) for d in dicts]
+    keys = _pack([d.codes_array() for d in dicts], dims, length)
+    if keys is None:
+        _count("projection_fallbacks")
+        return None
+    _, representative = np.unique(keys, return_index=True)
+    _count("projection_kernels")
+    return ([d.decode for d in dicts],
+            [d.codes_array()[representative] for d in dicts],
+            int(representative.size))
+
+
+def shard_assignments(backend, width: int, count: int):
+    """Deterministic shard index per row, mixed from the code arrays.
+
+    Only the parent process ever assigns shards (workers receive ready
+    shards), so any deterministic function of the stored rows preserves the
+    partition-parallel identity; mixing dictionary codes avoids building a
+    single Python tuple.
+    """
+    if not kernel_ready(backend):
+        return None
+    length = len(backend)
+    mixed = np.zeros(length, dtype=np.uint64)
+    prime = np.uint64(0x100000001B3)
+    with np.errstate(over="ignore"):
+        for position in range(width):
+            codes = backend.dictionary(position).codes_array()
+            mixed = mixed * prime + codes.astype(np.uint64) + np.uint64(1)
+            mixed ^= mixed >> np.uint64(29)
+    _count("shard_kernels")
+    return (mixed % np.uint64(count)).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# worst-case-optimal join: breadth-first frontier over code arrays
+# ---------------------------------------------------------------------------
+
+def wcoj(specs: Sequence[tuple], depth_total: int,
+         free_levels: Sequence[int]):
+    """Generic join as a breadth-first vectorized frontier.
+
+    ``specs`` holds ``(backend, positions, levels)`` per bound relation:
+    ``positions[j]`` is the column of the relation's ``j``-th variable (in
+    global order) and ``levels[j]`` that variable's level.  The frontier at
+    level ``L`` is a set of per-level ``int64`` arrays (codes in the level's
+    *anchor* dictionary — the extending relation's own column dictionary);
+    each level extends the frontier through the first constraining relation's
+    distinct ``(prefix, value)`` pairs and filters it through the remaining
+    constraining relations' distinct prefix sets, which reproduces exactly
+    the per-level trie intersection of the depth-first reference — including
+    the ``explored`` work count (the sum of frontier sizes equals the number
+    of partial assignments the DFS enters).
+
+    Returns ``(encoded output triple, explored)`` — the triple being the
+    ``(decode lists, code arrays, length)`` arguments of
+    ``ColumnarBackend.from_encoded`` over the free variables — or ``None``
+    to fall back.
+    """
+    # plans[L] = [(spec index, variable rank within the relation), ...]
+    plans: list[list[tuple[int, int]]] = [[] for _ in range(depth_total)]
+    for spec_index, (_, _, levels) in enumerate(specs):
+        for rank, level in enumerate(levels):
+            plans[level].append((spec_index, rank))
+    if any(not entries for entries in plans):
+        _count("wcoj_fallbacks")
+        return None
+
+    anchors: list = [None] * depth_total
+    anchor_dims = [1] * depth_total
+    assign: list = []
+    frontier = 1  # one empty partial assignment
+    explored = 0
+
+    def relation_keys(spec_index: int, rank: int):
+        """Distinct packed keys of one relation's first ``rank + 1`` columns,
+        translated into the anchor code space (rows with values unknown to an
+        anchor are dropped — they can never meet the frontier).  Memoized per
+        ``(positions, anchor uids)`` — the vectorized analogue of the cached
+        prefix tries, rebuilt only when the stored relations change.  Returns
+        ``(keys, dims)`` or ``None`` on pack overflow."""
+        backend, positions, levels = specs[spec_index]
+        dims = tuple(anchor_dims[levels[j]] for j in range(rank + 1))
+
+        def build():
+            columns = []
+            invalid = None
+            for j in range(rank + 1):
+                column_dict = backend.dictionary(positions[j])
+                codes = column_dict.translate_to(anchors[levels[j]])[
+                    column_dict.codes_array()]
+                missing = codes < 0
+                if missing.any():
+                    invalid = missing if invalid is None else (invalid | missing)
+                    codes = np.where(missing, 0, codes)
+                columns.append(codes)
+            keys = _pack(columns, dims, len(backend))
+            if keys is None:
+                return None
+            if invalid is not None:
+                keys = keys[~invalid]
+            return np.unique(keys), dims
+
+        uids = tuple(anchors[levels[j]].uid for j in range(rank + 1))
+        return _memo(backend, ("wcoj", positions[:rank + 1], uids), build)
+
+    for level in range(depth_total):
+        entries = plans[level]
+        ext_index, ext_rank = entries[0]
+        backend, positions, levels = specs[ext_index]
+        anchor = backend.dictionary(positions[ext_rank])
+        anchors[level] = anchor
+        anchor_dims[level] = max(len(anchor.decode), 1)
+
+        packed = relation_keys(ext_index, ext_rank)
+        if packed is None:
+            _count("wcoj_fallbacks")
+            return None
+        pair_keys, pair_dims = packed
+        value_dim = pair_dims[-1]
+        prefix_keys = pair_keys // value_dim
+        pair_values = pair_keys % value_dim
+
+        prefix_levels = levels[:ext_rank]
+        frontier_keys = _pack([assign[l] for l in prefix_levels],
+                              pair_dims[:-1], frontier)
+        if frontier_keys is None:
+            _count("wcoj_fallbacks")
+            return None
+        # prefix_keys is sorted (np.unique), so probe it directly.
+        starts = np.searchsorted(prefix_keys, frontier_keys, side="left")
+        ends = np.searchsorted(prefix_keys, frontier_keys, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            assign = [array[:0] for array in assign]
+            assign.append(np.empty(0, dtype=np.int64))
+            frontier = 0
+        else:
+            parent_idx = np.repeat(np.arange(frontier, dtype=np.int64), counts)
+            block_starts = np.cumsum(counts) - counts
+            within = (np.arange(total, dtype=np.int64)
+                      - np.repeat(block_starts, counts))
+            pair_pos = np.repeat(starts, counts) + within
+            assign = [array[parent_idx] for array in assign]
+            assign.append(pair_values[pair_pos])
+            frontier = total
+
+        for spec_index, rank in entries[1:]:
+            if frontier == 0:
+                break
+            packed = relation_keys(spec_index, rank)
+            if packed is None:
+                _count("wcoj_fallbacks")
+                return None
+            member_keys, member_dims = packed
+            rel_levels = specs[spec_index][2][:rank + 1]
+            frontier_keys = _pack([assign[l] for l in rel_levels],
+                                  member_dims, frontier)
+            if frontier_keys is None:
+                _count("wcoj_fallbacks")
+                return None
+            pos = np.searchsorted(member_keys, frontier_keys)
+            if member_keys.size == 0:
+                mask = np.zeros(frontier, dtype=bool)
+            else:
+                clipped = np.minimum(pos, member_keys.size - 1)
+                mask = (member_keys[clipped] == frontier_keys) & (
+                    pos < member_keys.size)
+            if not mask.all():
+                assign = [array[mask] for array in assign]
+                frontier = int(mask.sum())
+
+        explored += frontier
+        if frontier == 0:
+            _count("wcoj_kernels")
+            empty = ([[] for _ in free_levels],
+                     [np.empty(0, dtype=np.int64) for _ in free_levels], 0)
+            return empty, explored
+
+    free_levels = tuple(free_levels)
+    if not free_levels:
+        _count("wcoj_kernels")
+        return ([], [], 1 if frontier else 0), explored
+    free_dims = [anchor_dims[l] for l in free_levels]
+    keys = _pack([assign[l] for l in free_levels], free_dims, frontier)
+    if keys is None:
+        _count("wcoj_fallbacks")
+        return None
+    _, representative = np.unique(keys, return_index=True)
+    _count("wcoj_kernels")
+    encoded = ([anchors[l].decode for l in free_levels],
+               [assign[l][representative] for l in free_levels],
+               int(representative.size))
+    return encoded, explored
+
+
+# ---------------------------------------------------------------------------
+# semiring kernels: marginalization and fused join+eliminate
+# ---------------------------------------------------------------------------
+
+#: ``semiring name -> (value kind, grouped ⊕ reduction, ⊗ pair combiner)``.
+#: Only reductions whose vector form is *exactly* the reference fold are
+#: registered: integer sums (guarded against int64 overflow), float
+#: min/max (order-independent, pick an existing IEEE value), and the
+#: all-``True`` boolean case.  Everything else — e.g. the top-k min-plus
+#: semiring with tuple values — falls back to the Python path.
+def _build_semiring_specs():
+    return {
+        "counting": ("int", np.add.reduceat,
+                     lambda a, b: a * b),
+        "boolean": ("true", None, None),
+        "min-plus": ("float", np.minimum.reduceat,
+                     lambda a, b: a + b),
+        "max-min": ("float", np.maximum.reduceat,
+                    lambda a, b: np.minimum(a, b)),
+        "max-times": ("float", np.maximum.reduceat,
+                      lambda a, b: a * b),
+    }
+
+
+_SEMIRING_SPECS = _build_semiring_specs() if np is not None else {}
+
+
+def _scalar(kind: str, value):
+    """Convert one aggregated numpy scalar back to the reference Python type."""
+    if kind == "int":
+        return int(value)
+    if kind == "float":
+        return float(value)
+    return True
+
+
+def _grouped_reduce(kind: str, reduce_at, keys, values):
+    """⊕-reduce ``values`` grouped by ``keys``; returns (rep index, list)."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.empty(sorted_keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundaries[1:])
+    group_starts = np.flatnonzero(boundaries)
+    representative = order[group_starts]
+    if kind == "true":
+        return representative, [True] * group_starts.size
+    aggregated = reduce_at(values[order], group_starts)
+    return representative, [_scalar(kind, value) for value in aggregated]
+
+
+def marginal_dict(backend, keep_positions: Sequence[int], semiring_name: str):
+    """⊕-marginal of an annotated backend grouped by ``keep_positions``.
+
+    Returns the aggregated ``{key tuple: value}`` dict (same contents as the
+    reference ``_compute_marginal``) or ``None`` to fall back.
+    """
+    spec = _SEMIRING_SPECS.get(semiring_name)
+    if spec is None:
+        _count("marginal_fallbacks")
+        return None
+    kind, reduce_at, _ = spec
+    length = len(backend)
+    if length == 0:
+        _count("marginal_kernels")
+        return {}
+    values = backend.kernel_values(kind)
+    if values is None:
+        _count("marginal_fallbacks")
+        return None
+    keep_positions = tuple(keep_positions)
+    packed = _self_keys(backend, keep_positions)
+    if packed is None:
+        _count("marginal_fallbacks")
+        return None
+    keys, _ = packed
+    dicts = [backend.dictionary(p) for p in keep_positions]
+    representative, aggregated = _grouped_reduce(kind, reduce_at, keys, values)
+    _count("marginal_kernels")
+    pieces = [d.object_column()[representative] for d in dicts]
+    grouped_keys = list(zip(*pieces)) if pieces else [()] * len(aggregated)
+    return dict(zip(grouped_keys, aggregated))
+
+
+def join_marginalize_dict(left, right, left_key: Sequence[int],
+                          right_key: Sequence[int],
+                          out_source: Sequence[tuple[str, int]],
+                          semiring_name: str):
+    """Fused ⊗-join + ⊕-eliminate over two annotated backends.
+
+    ``out_source`` names each surviving output column as ``('l', position)``
+    or ``('r', position)``.  Returns the output ``{row: value}`` dict or
+    ``None`` to fall back (unsupported semiring, non-vectorizable values, or
+    a pair count past the exact-``int64`` guard for the counting semiring).
+    """
+    spec = _SEMIRING_SPECS.get(semiring_name)
+    if spec is None:
+        _count("join_marginalize_fallbacks")
+        return None
+    kind, reduce_at, combine = spec
+    if len(left) == 0 or len(right) == 0:
+        _count("join_marginalize_kernels")
+        return {}
+    left_values = left.kernel_values(kind)
+    right_values = right.kernel_values(kind)
+    if left_values is None or right_values is None:
+        _count("join_marginalize_fallbacks")
+        return None
+    left_key = tuple(left_key)
+    packed = _self_keys(left, left_key)
+    if packed is None:
+        _count("join_marginalize_fallbacks")
+        return None
+    _, dims = packed
+    left_dicts = [left.dictionary(p) for p in left_key]
+    right_keys = _translated_keys(right, tuple(right_key), left_dicts, dims)
+    if right_keys is None:
+        _count("join_marginalize_fallbacks")
+        return None
+    left_idx, right_idx = _match_pairs(left, left_key, dims, right_keys)
+    if left_idx.size == 0:
+        _count("join_marginalize_kernels")
+        return {}
+    if kind == "int" and left_idx.size > _COUNT_PAIR_LIMIT:
+        _count("join_marginalize_fallbacks")
+        return None
+    if kind == "true":
+        products = None
+    else:
+        products = combine(left_values[left_idx], right_values[right_idx])
+    out_dicts = []
+    out_codes = []
+    for side, position in out_source:
+        if side == "l":
+            dictionary = left.dictionary(position)
+            codes = dictionary.codes_array()[left_idx]
+        else:
+            dictionary = right.dictionary(position)
+            codes = dictionary.codes_array()[right_idx]
+        out_dicts.append(dictionary)
+        out_codes.append(codes)
+    group_keys = _pack(out_codes, [len(d.decode) for d in out_dicts],
+                       left_idx.size)
+    if group_keys is None:
+        _count("join_marginalize_fallbacks")
+        return None
+    representative, aggregated = _grouped_reduce(kind, reduce_at, group_keys,
+                                                 products)
+    _count("join_marginalize_kernels")
+    pieces = [dictionary.decode_array()[codes[representative]]
+              for dictionary, codes in zip(out_dicts, out_codes)]
+    grouped_rows = list(zip(*pieces)) if pieces else [()] * len(aggregated)
+    return dict(zip(grouped_rows, aggregated))
+
+
+# ---------------------------------------------------------------------------
+# value-array vetting (used by the annotated backends' kernel_values caches)
+# ---------------------------------------------------------------------------
+
+def vet_values(values: Iterable, kind: str):
+    """Convert annotation values to an exact numpy array for ``kind``.
+
+    Returns the array (or ``True`` for the boolean kind), or ``None`` when
+    any value cannot be represented exactly — the caller then falls back.
+    ``bool`` is deliberately excluded from the ``int`` kind (``type`` check,
+    not ``isinstance``) so counting annotations stay genuine integers.
+    """
+    if np is None:
+        return None
+    if kind == "true":
+        return True if all(value is True for value in values) else None
+    if kind == "int":
+        checked = list(values)
+        limit = _COUNT_VALUE_LIMIT
+        if all(type(value) is int and -limit < value < limit
+               for value in checked):
+            return np.array(checked, dtype=np.int64)
+        return None
+    if kind == "float":
+        checked = list(values)
+        if all(type(value) is float for value in checked):
+            return np.array(checked, dtype=np.float64)
+        return None
+    return None

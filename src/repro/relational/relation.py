@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.relational import kernels
 from repro.relational.storage import (
+    ColumnarBackend,
     StorageBackend,
     get_default_backend,
     resolve_backend,
@@ -296,12 +298,42 @@ class Relation:
             raise ValueError("the shard count must be at least 1")
         if count == 1:
             return [self.copy()]
+        assignment = kernels.shard_assignments(self._backend,
+                                               len(self.columns), count)
+        if assignment is not None:
+            # Zero-copy shard views: each shard shares the parent's decode
+            # tables and holds only sliced int64 code arrays.  Sharding always
+            # happens in the parent (workers receive ready shards), so any
+            # deterministic assignment preserves the merge identity.
+            views = self._backend.shard_views(assignment, count,
+                                              len(self.columns))
+            return [Relation._from_backend(f"{self.name}[{index}/{count}]",
+                                           self.columns, view)
+                    for index, view in enumerate(views)]
         buckets: list[list[tuple]] = [[] for _ in range(count)]
         for row in self._backend.iter_rows():
             buckets[stable_row_hash(row) % count].append(row)
         return [self._derive(f"{self.name}[{index}/{count}]", self.columns,
                              bucket, unique=True)
                 for index, bucket in enumerate(buckets)]
+
+    def encoded_payload(self):
+        """Compact dictionary-encoded form for process-worker transport.
+
+        Returns ``(decode lists, int64 code arrays, row count)`` — the
+        arguments of :meth:`ColumnarBackend.from_encoded` — or ``None`` when
+        the backend cannot serve the kernel path.  Shipping codes instead of
+        Python row tuples is what keeps partition-parallel serialization
+        proportional to the data, not to the number of Python objects.
+        """
+        backend = self._backend
+        if not kernels.kernel_ready(backend):
+            return None
+        width = len(self.columns)
+        dictionaries = [backend.dictionary(p) for p in range(width)]
+        return ([d.decode for d in dictionaries],
+                [d.codes_array() for d in dictionaries],
+                len(backend))
 
     # ------------------------------------------------------------------ joins
     def prefix_trie(self, positions: Sequence[int]) -> list[dict[tuple, set]]:
@@ -329,6 +361,16 @@ class Relation:
         other_extra_idx = tuple(other.column_index(c) for c in other_extra)
         out_columns = self.columns + tuple(other_extra)
         out_name = name or f"({self.name} ⋈ {other.name})"
+        if kernels.kernel_ready(self._backend, other._backend):
+            encoded = kernels.join_encoded(
+                self._backend, other._backend, self_key, other_key,
+                other_extra_idx, len(self.columns))
+            if encoded is not None:
+                # The output stays dictionary-encoded: downstream kernels
+                # (and their dictionaries) build straight off these arrays,
+                # and rows decode lazily only if something reads them.
+                return Relation._from_backend(
+                    out_name, out_columns, ColumnarBackend.from_encoded(*encoded))
         build_self = self._backend.has_cached_index(self_key) or (
             not other._backend.has_cached_index(other_key)
             and len(self) <= len(other))
@@ -361,6 +403,18 @@ class Relation:
             return self.copy(name)
         self_key = tuple(self.column_index(c) for c in shared)
         other_key = tuple(other.column_index(c) for c in shared)
+        if kernels.kernel_ready(self._backend, other._backend):
+            kept = kernels.semijoin_keep(self._backend, other._backend,
+                                         self_key, other_key)
+            if kept is not None:
+                if kept.size == len(self):
+                    # Nothing was filtered: share the backend, keep indexes warm.
+                    return self.copy(name)
+                encoded = kernels.gather_encoded(self._backend, kept,
+                                                 len(self.columns))
+                return Relation._from_backend(
+                    name or self.name, self.columns,
+                    ColumnarBackend.from_encoded(*encoded))
         other_keys = other._backend.key_set(other_key)
         # On a caching backend, probing bucket-by-bucket through the hash
         # index costs the same as a row scan the first time (the index build

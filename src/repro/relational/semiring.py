@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generic, Iterable, Iterator, Mapping, Sequence, TypeVar
 
+from repro.relational import kernels
 from repro.relational.relation import Relation
 from repro.relational.storage import AnnotatedBackend, resolve_annotated_backend
 
@@ -310,6 +311,16 @@ class AnnotatedRelation(Generic[K]):
                             f"Σ({self.name} ⋈ {other.name})")
         self_key = self._positions(shared)
         other_key = other._positions(shared)
+        if kernels.kernel_ready(self._backend, other._backend):
+            out_source = [("l", self.columns.index(c))
+                          if c in self.column_set
+                          else ("r", other.columns.index(c))
+                          for c in out_columns]
+            result = kernels.join_marginalize_dict(
+                self._backend, other._backend, self_key, other_key,
+                out_source, self.semiring.name)
+            if result is not None:
+                return self._spawn(out_name, out_columns, result.items())
         # Build (or reuse) the probe index on the side that caches; iterate
         # the other.  Preferring an already-cached index keeps base-relation
         # indexes hot across repeated runs.
@@ -382,6 +393,17 @@ class AnnotatedRelation(Generic[K]):
                 return self._spawn(name or self.name, self.columns, [])
             return self
         self_key = self._positions(shared)
+        if kernels.kernel_ready(self._backend, other._backend):
+            kept = kernels.semijoin_keep(self._backend, other._backend,
+                                         self_key, other._positions(shared))
+            if kept is not None:
+                if kept.size == len(self):
+                    return self
+                rows = self._backend.rows_list()
+                values = self._backend.values_list()
+                return self._spawn(name or self.name, self.columns,
+                                   [(rows[i], values[i])
+                                    for i in kept.tolist()])
         other_keys = other._backend.key_set(other._positions(shared))
         pairs = [(row, value) for row, value in self._backend.items()
                  if tuple(row[i] for i in self_key) in other_keys]

@@ -39,10 +39,18 @@ the benchmarks use to make cached index reuse observable.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import zlib
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.relational import kernels
+
+try:  # numpy is a declared runtime dependency, but stay importable without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    _np = None  # type: ignore[assignment]
 
 
 IndexKey = tuple[int, ...]
@@ -73,6 +81,12 @@ class StorageBackend:
     #: Whether access structures are memoized.  Operators use this to decide
     #: if building an index just-in-time will pay off on later calls.
     caches_indexes: bool = False
+    #: Whether the vectorized kernel path (:mod:`repro.relational.kernels`)
+    #: may run against this backend.  Only backends exposing the
+    #: ``dictionary`` protocol over NumPy code arrays opt in; the set/dict
+    #: reference engines stay on the tuple-at-a-time path so the parity
+    #: suites always have an untouched semantics reference.
+    supports_kernels: bool = False
 
     def __init__(self) -> None:
         self.shared = False
@@ -271,6 +285,31 @@ class SetBackend(StorageBackend):
         return SetBackend(self._compute_key_set(positions), assume_unique=True)
 
 
+_dictionary_uids = itertools.count()
+
+
+def _dictionary_sort_key(value) -> tuple[str, str]:
+    """Deterministic value order for dictionary codes.
+
+    Sorting distinct values by ``(type name, repr)`` makes the code
+    assignment a pure function of the value *set* — independent of row
+    order, process hash salting, and insertion history — which is what lets
+    worker processes rebuilding a shard from an encoded payload arrive at
+    exactly the parent's codes.  (Ties — distinct values sharing a repr,
+    e.g. two NaN objects — keep their first-appearance order via the stable
+    sort, which is still deterministic given the same row list.)
+    """
+    return (value.__class__.__name__, repr(value))
+
+
+def _object_array(values: Sequence):
+    """A 1-D object-dtype array holding ``values`` (tuples stay tuples)."""
+    array = _np.empty(len(values), dtype=object)
+    for index, value in enumerate(values):
+        array[index] = value
+    return array
+
+
 class ColumnDictionary:
     """A lazily built dictionary encoding of one column.
 
@@ -278,23 +317,132 @@ class ColumnDictionary:
     ``decode[code]`` recovers the value.  Grouping and distinct-counting over
     small integer codes is cheaper than over arbitrary values, and the
     dictionary itself doubles as the column's distinct-value index.
+
+    Codes are assigned in the deterministic :func:`_dictionary_sort_key`
+    order (not first appearance), so equal column contents always produce
+    equal codes — the invariant partition-parallel workers rely on.  For the
+    vectorized kernels the dictionary also materialises (lazily, cached):
+
+    * :meth:`codes_array` — the codes as an ``int64`` NumPy array;
+    * :meth:`decode_array` / :meth:`object_column` — object-dtype decode
+      table and the fully decoded column (fancy-indexable, zips back into
+      the original Python value objects);
+    * :meth:`translate_to` — a memoized ``int64`` table mapping this
+      dictionary's codes into another dictionary's code space (``-1`` for
+      values the other side has never seen).
     """
 
-    __slots__ = ("codes", "decode")
+    __slots__ = ("decode", "uid", "_codes", "_encode", "_codes_array",
+                 "_decode_array", "_column", "_translations")
 
     def __init__(self, values: Iterable) -> None:
-        encode: dict = {}
-        codes: list[int] = []
-        decode: list = []
-        for value in values:
-            code = encode.get(value)
-            if code is None:
-                code = len(decode)
-                encode[value] = code
-                decode.append(value)
-            codes.append(code)
-        self.codes = codes
+        seen: dict = {}
+        materialised = list(values)
+        for value in materialised:
+            if value not in seen:
+                seen[value] = None
+        decode = sorted(seen, key=_dictionary_sort_key)
+        encode = {value: code for code, value in enumerate(decode)}
+        self._codes: list[int] | None = [encode[value] for value in materialised]
         self.decode = decode
+        self._encode = encode
+        self._codes_array = None
+        self._decode_array = None
+        self._column = None
+        self._translations: dict[int, object] = {}
+        self.uid = next(_dictionary_uids)
+
+    @classmethod
+    def from_codes(cls, codes, decode_source: Sequence) -> "ColumnDictionary":
+        """A dictionary for a column given as codes into ``decode_source``.
+
+        ``decode_source`` must be canonically ordered (any existing
+        dictionary's ``decode`` qualifies); the distinct codes present keep
+        that order, so the child dictionary is exactly what
+        ``ColumnDictionary(decoded values)`` would build — without touching a
+        single Python value object.  This is how encoded shard views and
+        encoded kernel outputs realise their dictionaries vectorized.
+        """
+        space = len(decode_source)
+        if space <= max(1 << 16, 8 * codes.size):
+            # Dense remap: O(rows + space) beats the sort inside np.unique.
+            counts = _np.bincount(codes, minlength=space)
+            present = _np.flatnonzero(counts)
+            remap = _np.zeros(space, dtype=_np.int64)
+            remap[present] = _np.arange(present.size, dtype=_np.int64)
+            child_codes = remap[codes]
+        else:
+            present, child_codes = _np.unique(codes, return_inverse=True)
+        self = cls.__new__(cls)
+        self.decode = [decode_source[code] for code in present.tolist()]
+        self._encode = {value: code for code, value in enumerate(self.decode)}
+        self._codes = None
+        self._codes_array = child_codes.astype(_np.int64, copy=False)
+        self._decode_array = None
+        self._column = None
+        self._translations = {}
+        self.uid = next(_dictionary_uids)
+        return self
+
+    @property
+    def codes(self) -> list[int]:
+        """The per-row codes as a plain Python list (lazily realised)."""
+        if self._codes is None:
+            self._codes = self._codes_array.tolist()
+        return self._codes
+
+    # Memoized arrays and per-process uids do not cross pickle.
+    def __getstate__(self) -> tuple:
+        return (self.codes, self.decode)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._codes, self.decode = state
+        self._encode = {value: code for code, value in enumerate(self.decode)}
+        self._codes_array = None
+        self._decode_array = None
+        self._column = None
+        self._translations = {}
+        self.uid = next(_dictionary_uids)
+
+    def codes_array(self):
+        """The codes as a cached ``int64`` NumPy array."""
+        if self._codes_array is None:
+            self._codes_array = _np.array(self._codes, dtype=_np.int64)
+        return self._codes_array
+
+    def decode_array(self):
+        """The decode table as a cached object-dtype NumPy array."""
+        if self._decode_array is None:
+            self._decode_array = _object_array(self.decode)
+        return self._decode_array
+
+    def object_column(self):
+        """The fully decoded column (original value objects), cached."""
+        if self._column is None:
+            self._column = self.decode_array()[self.codes_array()]
+        return self._column
+
+    def translate_to(self, other: "ColumnDictionary"):
+        """``int64`` table mapping this dictionary's codes into ``other``'s.
+
+        Entry ``c`` is ``other``'s code for ``self.decode[c]``, or ``-1``
+        when the value is absent there.  Memoized per target dictionary, so
+        repeated joins against the same base relations pay the translation
+        once.
+        """
+        table = self._translations.get(other.uid)
+        if table is None:
+            if other is self:
+                table = _np.arange(len(self.decode), dtype=_np.int64)
+            else:
+                table = _np.full(len(self.decode), -1, dtype=_np.int64)
+                other_encode = other._encode
+                for code, value in enumerate(self.decode):
+                    mapped = other_encode.get(value)
+                    if mapped is not None:
+                        table[code] = mapped
+            self._translations[other.uid] = table
+        return table
 
 
 class ColumnarBackend(StorageBackend):
@@ -310,11 +458,12 @@ class ColumnarBackend(StorageBackend):
 
     kind = "columnar"
     caches_indexes = True
+    supports_kernels = True
 
     def __init__(self, rows: Iterable[tuple] = (), assume_unique: bool = False) -> None:
         super().__init__()
         if assume_unique:
-            self._rows: list[tuple] = list(rows)
+            self._rows: list[tuple] | None = list(rows)
             self._rowset: set[tuple] | None = None
         else:
             seen: set[tuple] = set()
@@ -325,6 +474,11 @@ class ColumnarBackend(StorageBackend):
                     unique.append(row)
             self._rows = unique
             self._rowset = seen
+        self._length = len(self._rows)
+        #: Encoded-only state: ``(decode lists, int64 code arrays)`` when the
+        #: backend was built by :meth:`from_encoded` and rows have not been
+        #: materialised yet.
+        self._encoded: tuple[list[list], list] | None = None
         self._frozen: frozenset[tuple] | None = None
         self._dictionaries: dict[int, ColumnDictionary] = {}
         self._hash_indexes: dict[IndexKey, dict[tuple, list[tuple]]] = {}
@@ -334,22 +488,65 @@ class ColumnarBackend(StorageBackend):
                                   dict[tuple, tuple[tuple, ...]]] = {}
         self._tries: dict[IndexKey, list[dict[tuple, set]]] = {}
         self._projections: dict[IndexKey, "ColumnarBackend"] = {}
+        #: Memoized kernel access structures (packed keys, sort permutations,
+        #: member sets — see :func:`repro.relational.kernels._memo`).
+        self._kernel_memos: dict[tuple, object] = {}
+
+    @classmethod
+    def from_encoded(cls, decodes: Sequence[list], code_arrays: Sequence,
+                     length: int) -> "ColumnarBackend":
+        """A backend over dictionary-encoded columns, rows materialised lazily.
+
+        ``decodes[p]`` is column ``p``'s decode list and ``code_arrays[p]``
+        its ``int64`` codes.  The decode lists are shared by reference (a
+        shard view or kernel join output costs no value copies in-process)
+        and the code arrays are the compact payload shipped to process
+        workers instead of Python row tuples.  ``decodes[p]`` must be
+        canonically ordered (any existing dictionary's ``decode`` qualifies):
+        the backend's own dictionaries are then realised vectorized through
+        :meth:`ColumnDictionary.from_codes`, which re-establishes the
+        deterministic-code invariant (codes cover exactly the values
+        *present*) without touching the Python value objects.
+        """
+        backend = cls()
+        backend._rows = None
+        backend._rowset = None
+        backend._length = int(length)
+        backend._encoded = (list(decodes), list(code_arrays))
+        return backend
 
     # -- core storage ----------------------------------------------------------
+    def _row_list(self) -> list[tuple]:
+        """The rows as a list, decoding the encoded columns on first use."""
+        if self._rows is None:
+            decodes, codes = self._encoded  # type: ignore[misc]
+            pieces = [_object_array(decode)[column]
+                      for decode, column in zip(decodes, codes)]
+            self._rows = list(zip(*pieces)) if pieces \
+                else [()] * self._length
+        return self._rows
+
+    def _column_values(self, position: int):
+        """One column's values, straight off the codes when rows are lazy."""
+        if self._rows is None:
+            decodes, codes = self._encoded  # type: ignore[misc]
+            return _object_array(decodes[position])[codes[position]]
+        return [row[position] for row in self._rows]
+
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._rows) if self._rows is not None else self._length
 
     def iter_rows(self) -> Iterator[tuple]:
-        return iter(self._rows)
+        return iter(self._row_list())
 
     def row_set(self) -> frozenset[tuple]:
         if self._frozen is None:
-            self._frozen = frozenset(self._rows)
+            self._frozen = frozenset(self._row_list())
         return self._frozen
 
     def _ensure_rowset(self) -> set[tuple]:
         if self._rowset is None:
-            self._rowset = set(self._rows)
+            self._rowset = set(self._row_list())
         return self._rowset
 
     def contains(self, row: tuple) -> bool:
@@ -360,11 +557,12 @@ class ColumnarBackend(StorageBackend):
         if row in rowset:
             return
         rowset.add(row)
-        self._rows.append(row)
+        self._row_list().append(row)
         self._invalidate()
 
     def _invalidate(self) -> None:
         self._frozen = None
+        self._encoded = None
         self._dictionaries.clear()
         self._hash_indexes.clear()
         self._key_sets.clear()
@@ -372,9 +570,10 @@ class ColumnarBackend(StorageBackend):
         self._group_indexes.clear()
         self._tries.clear()
         self._projections.clear()
+        self._kernel_memos.clear()
 
     def fork(self) -> "ColumnarBackend":
-        return ColumnarBackend(self._rows, assume_unique=True)
+        return ColumnarBackend(self._row_list(), assume_unique=True)
 
     # -- dictionary encoding -----------------------------------------------------
     def dictionary(self, position: int) -> ColumnDictionary:
@@ -382,16 +581,42 @@ class ColumnarBackend(StorageBackend):
         dictionary = self._dictionaries.get(position)
         if dictionary is None:
             self._count("dictionary_builds")
-            dictionary = ColumnDictionary(row[position] for row in self._rows)
+            if self._encoded is not None:
+                # Encoded construction (shard view / kernel output): realise
+                # the dictionary vectorized off the parent's decode table.
+                decodes, codes = self._encoded
+                dictionary = ColumnDictionary.from_codes(codes[position],
+                                                         decodes[position])
+            else:
+                dictionary = ColumnDictionary(self._column_values(position))
             self._dictionaries[position] = dictionary
         else:
             self._count("dictionary_hits")
         return dictionary
 
+    def shard_views(self, assignment, count: int,
+                    width: int) -> list["ColumnarBackend"]:
+        """``count`` encoded shard backends selected by ``assignment``.
+
+        ``assignment[r]`` is row ``r``'s shard index.  Each view shares the
+        parent's decode lists by reference and holds only its own sliced
+        ``int64`` code arrays — no Python row tuples are built here.
+        """
+        dictionaries = [self.dictionary(p) for p in range(width)]
+        decodes = [d.decode for d in dictionaries]
+        code_columns = [d.codes_array() for d in dictionaries]
+        views = []
+        for index in range(count):
+            mask = assignment == index
+            views.append(ColumnarBackend.from_encoded(
+                decodes, [column[mask] for column in code_columns],
+                int(mask.sum())))
+        return views
+
     def _code_rows(self, positions: IndexKey) -> list[tuple[int, ...]]:
         """Rows restricted to ``positions``, in dictionary-code space."""
         columns = [self.dictionary(p).codes for p in positions]
-        return list(zip(*columns)) if columns else [() for _ in self._rows]
+        return list(zip(*columns)) if columns else [()] * len(self)
 
     def _decode(self, code_key: tuple[int, ...], positions: IndexKey) -> tuple:
         return tuple(self._dictionaries[p].decode[code]
@@ -486,12 +711,19 @@ class ColumnarBackend(StorageBackend):
             self._count("project_hits")
             return cached
         self._count("project_builds")
+        backend = None
         if len(positions) == 1:
             distinct: Iterable[tuple] = [(value,)
                                          for value in self.dictionary(positions[0]).decode]
         else:
-            distinct = self._compute_key_set(positions)
-        backend = ColumnarBackend(distinct, assume_unique=True)
+            kernel_distinct = (kernels.distinct_encoded(self, positions)
+                               if kernels.kernel_ready(self) else None)
+            if kernel_distinct is not None:
+                backend = ColumnarBackend.from_encoded(*kernel_distinct)
+            else:
+                distinct = self._compute_key_set(positions)
+        if backend is None:
+            backend = ColumnarBackend(distinct, assume_unique=True)
         self._projections[positions] = backend
         return backend
 
@@ -526,6 +758,9 @@ class AnnotatedBackend:
     kind: str = "abstract"
     #: Whether access structures are memoized (see :attr:`StorageBackend.caches_indexes`).
     caches_indexes: bool = False
+    #: Whether the vectorized kernel path may run against this backend (see
+    #: :attr:`StorageBackend.supports_kernels`).
+    supports_kernels: bool = False
 
     def __init__(self) -> None:
         self.shared = False
@@ -698,6 +933,7 @@ class ColumnarAnnotatedBackend(AnnotatedBackend):
 
     kind = "columnar"
     caches_indexes = True
+    supports_kernels = True
 
     def __init__(self, pairs: Iterable[tuple[tuple, object]] = ()) -> None:
         super().__init__()
@@ -707,6 +943,15 @@ class ColumnarAnnotatedBackend(AnnotatedBackend):
         self._marginals: dict[tuple[IndexKey, str], dict[tuple, object]] = {}
         self._sorted_groups: dict[tuple[IndexKey, IndexKey],
                                   dict[tuple, list[tuple]]] = {}
+        self._dictionaries: dict[int, ColumnDictionary] = {}
+        self._rows_list: list[tuple] | None = None
+        self._values_list: list | None = None
+        #: Per value-kind vetted annotation arrays; ``False`` marks a kind the
+        #: values failed to vet for, so the check runs once per backend.
+        self._kernel_values: dict[str, object] = {}
+        #: Memoized kernel access structures (packed keys, sort permutations,
+        #: member sets); annotated backends are immutable, so never cleared.
+        self._kernel_memos: dict[tuple, object] = {}
 
     def __len__(self) -> int:
         return len(self._annotations)
@@ -719,6 +964,46 @@ class ColumnarAnnotatedBackend(AnnotatedBackend):
 
     def mapping(self) -> Mapping[tuple, object]:
         return self._annotations
+
+    # -- kernel surface -------------------------------------------------------
+    # Annotated facades are immutable (every algebra operation spawns a new
+    # backend), so the row/value snapshots and dictionaries are cached forever.
+    def rows_list(self) -> list[tuple]:
+        """The rows as a list, aligned with :meth:`values_list`."""
+        if self._rows_list is None:
+            self._rows_list = list(self._annotations.keys())
+        return self._rows_list
+
+    def values_list(self) -> list:
+        """The annotation values as a list, aligned with :meth:`rows_list`."""
+        if self._values_list is None:
+            self._values_list = list(self._annotations.values())
+        return self._values_list
+
+    def dictionary(self, position: int) -> ColumnDictionary:
+        """The (lazily realised) dictionary encoding of one column."""
+        dictionary = self._dictionaries.get(position)
+        if dictionary is None:
+            self._count("dictionary_builds")
+            dictionary = ColumnDictionary(row[position] for row in self.rows_list())
+            self._dictionaries[position] = dictionary
+        else:
+            self._count("dictionary_hits")
+        return dictionary
+
+    def kernel_values(self, kind: str):
+        """The annotations as a vetted kernel value array, or ``None``.
+
+        ``kind`` is a :func:`repro.relational.kernels.vet_values` value kind
+        (``"int"``/``"float"``/``"true"``).  ``None`` means the values do not
+        qualify for exact vectorized arithmetic and the caller must fall back.
+        """
+        cached = self._kernel_values.get(kind)
+        if cached is None:
+            vetted = kernels.vet_values(self.values_list(), kind)
+            self._kernel_values[kind] = False if vetted is None else vetted
+            return vetted
+        return None if cached is False else cached
 
     def probe_index(self, key_positions: IndexKey) -> dict[tuple, list[tuple]]:
         cached = self._probe_indexes.get(key_positions)
@@ -754,7 +1039,10 @@ class ColumnarAnnotatedBackend(AnnotatedBackend):
             self._count("marginal_hits")
             return cached
         self._count("marginal_builds")
-        aggregated = self._compute_marginal(keep_positions, add)
+        aggregated = (kernels.marginal_dict(self, keep_positions, tag)
+                      if kernels.kernel_ready(self) else None)
+        if aggregated is None:
+            aggregated = self._compute_marginal(keep_positions, add)
         self._marginals[cache_key] = aggregated
         return aggregated
 

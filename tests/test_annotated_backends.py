@@ -22,11 +22,21 @@ from repro.relational import (
     Relation,
     Semiring,
     resolve_annotated_backend,
+    using_kernels,
 )
 
 ANNOTATED_KINDS = sorted(ANNOTATED_BACKENDS)
 PLAIN_KINDS = ("set", "columnar")
 SEEDS = (3, 17, 92)
+
+
+@pytest.fixture(autouse=True, params=[True, False],
+                ids=["kernels-on", "kernels-off"])
+def _kernel_modes(request):
+    """Run every annotated parity/cache case under both the vectorized-kernel
+    and the tuple-at-a-time path (the dict engine ignores the toggle)."""
+    with using_kernels(request.param):
+        yield
 
 
 def _assert_same_output(outputs):

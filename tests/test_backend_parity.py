@@ -22,10 +22,19 @@ from repro.datagen import random_graph_database
 from repro.decompositions.enumerate import enumerate_tree_decompositions
 from repro.panda.adaptive import evaluate_adaptive
 from repro.query import four_cycle_projected, path_query, triangle_query
-from repro.relational import BACKENDS, Relation, using_backend
+from repro.relational import BACKENDS, Relation, using_backend, using_kernels
 
 BACKEND_KINDS = sorted(BACKENDS)
 SEEDS = (3, 17, 92)
+
+
+@pytest.fixture(autouse=True, params=[True, False],
+                ids=["kernels-on", "kernels-off"])
+def _kernel_modes(request):
+    """Run every parity case under both the vectorized-kernel and the
+    tuple-at-a-time columnar path (the set backend ignores the toggle)."""
+    with using_kernels(request.param):
+        yield
 
 
 def _databases(query, size, domain, seed):

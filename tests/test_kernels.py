@@ -1,0 +1,321 @@
+"""The vectorized NumPy kernel layer (:mod:`repro.relational.kernels`).
+
+The kernels are only admissible if they are unobservable through results:
+every test here pins the kernel path to the tuple-at-a-time reference —
+``SetBackend`` answers for joins/semijoins/projections (including a
+hypothesis property sweep), the depth-first trie walk for the generic join
+(same answers *and* the same explored count), and the ``dict`` annotated
+engine for semiring marginalization.  The fallback ladder is exercised
+explicitly: pack overflow, counting-overflow vetting, and a non-vectorizable
+semiring (top-k min-plus) must take the fallback counters, never wrong
+answers.  The encoded transport path (shard views, pickled payloads, thread
+vs process executors) must preserve the exact-partition merge identity.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import generic_join
+from repro.datagen import random_graph_database
+from repro.engine import Engine
+from repro.query import four_cycle_projected, triangle_query
+from repro.relational import (
+    COUNTING_SEMIRING,
+    AnnotatedRelation,
+    ColumnarBackend,
+    Relation,
+    WorkCounter,
+    kernel_stats,
+    kernel_stats_delta,
+    kernels_enabled,
+    top_k_min_plus_semiring,
+    using_kernels,
+)
+from repro.relational import kernels
+
+PROPERTY = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+#: Mixed value classes on purpose: codes must follow the deterministic
+#: ``(class name, repr)`` order, not anything type-specific.
+MIXED_LEFT = [(1, "a"), (2, "b"), ("x", "a"), (None, "c"), ((3, 4), "b"),
+              (2.5, "a")]
+MIXED_RIGHT = [("a", 10), ("b", None), ("a", (7,)), ("d", 11)]
+
+
+def _pair(left_rows, right_rows, kind, left_cols=("x", "y"),
+          right_cols=("y", "z")):
+    return (Relation("L", left_cols, left_rows, backend=kind),
+            Relation("R", right_cols, right_rows, backend=kind))
+
+
+def _reference(operation, left_rows, right_rows, **kwargs):
+    left, right = _pair(left_rows, right_rows, "set", **kwargs)
+    return getattr(left, operation)(right)
+
+
+# ---------------------------------------------------------------------------
+# set-semantics parity: join / semijoin / projection
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("left_rows,right_rows", [
+    (MIXED_LEFT, MIXED_RIGHT),
+    ([], MIXED_RIGHT),
+    (MIXED_LEFT, []),
+    ([], []),
+], ids=["mixed", "empty-left", "empty-right", "both-empty"])
+def test_kernel_join_and_semijoin_parity(left_rows, right_rows):
+    for operation in ("hash_join", "semijoin"):
+        reference = _reference(operation, left_rows, right_rows)
+        with using_kernels(True):
+            left, right = _pair(left_rows, right_rows, "columnar")
+            before = kernel_stats()
+            result = getattr(left, operation)(right)
+            moved = kernel_stats_delta(before)
+        assert result.columns == reference.columns
+        assert result.rows == reference.rows
+        counter = {"hash_join": "join_kernels",
+                   "semijoin": "semijoin_kernels"}[operation]
+        assert moved.get(counter, 0) > 0, f"{operation} skipped the kernel"
+
+
+def test_kernel_join_without_shared_columns_is_cross_product():
+    left_rows = [(1, 2), (3, 4)]
+    right_rows = [("a", "b"), ("c", "d"), ("e", "f")]
+    reference = _reference("hash_join", left_rows, right_rows,
+                           right_cols=("u", "v"))
+    with using_kernels(True):
+        left, right = _pair(left_rows, right_rows, "columnar",
+                            right_cols=("u", "v"))
+        result = left.hash_join(right)
+    assert result.columns == reference.columns
+    assert result.rows == reference.rows
+    assert len(result) == len(left_rows) * len(right_rows)
+
+
+def test_kernel_projection_parity_and_counter():
+    rows = [(i % 3, "v", i % 2) for i in range(12)]
+    reference = Relation("R", ("a", "b", "c"), rows,
+                         backend="set").project(("c", "a"))
+    with using_kernels(True):
+        relation = Relation("R", ("a", "b", "c"), rows, backend="columnar")
+        before = kernel_stats()
+        result = relation.project(("c", "a"))
+        moved = kernel_stats_delta(before)
+    assert result.columns == reference.columns
+    assert result.rows == reference.rows
+    assert moved.get("projection_kernels", 0) > 0
+
+
+@PROPERTY
+@given(left_rows=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                          max_size=24),
+       right_rows=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                           max_size=24))
+def test_kernel_join_matches_set_backend_property(left_rows, right_rows):
+    """Property sweep: kernel joins and semijoins ≡ SetBackend on random inputs."""
+    for operation in ("hash_join", "semijoin"):
+        reference = _reference(operation, left_rows, right_rows)
+        with using_kernels(True):
+            left, right = _pair(left_rows, right_rows, "columnar")
+            result = getattr(left, operation)(right)
+        assert result.columns == reference.columns
+        assert result.rows == reference.rows
+
+
+# ---------------------------------------------------------------------------
+# the toggle
+# ---------------------------------------------------------------------------
+
+def test_using_kernels_toggle_nests_and_restores():
+    initial = kernels_enabled()
+    with using_kernels(not initial):
+        assert kernels_enabled() == (not initial)
+        with using_kernels(initial):
+            assert kernels_enabled() == initial
+        assert kernels_enabled() == (not initial)
+    assert kernels_enabled() == initial
+
+
+def test_kernels_off_keeps_counters_flat():
+    with using_kernels(False):
+        left, right = _pair(MIXED_LEFT, MIXED_RIGHT, "columnar")
+        before = kernel_stats()
+        left.hash_join(right)
+        left.semijoin(right)
+        moved = kernel_stats_delta(before)
+    assert not any(count for event, count in moved.items()
+                   if event.endswith("_kernels"))
+
+
+# ---------------------------------------------------------------------------
+# the fallback ladder
+# ---------------------------------------------------------------------------
+
+def test_pack_overflow_falls_back_to_reference_join(monkeypatch):
+    monkeypatch.setattr(kernels, "_PACK_LIMIT", 1)
+    left_rows = [(i, i % 5) for i in range(40)]
+    right_rows = [(i % 5, i) for i in range(40)]
+    join_reference = _reference("hash_join", left_rows, right_rows)
+    semi_reference = _reference("semijoin", left_rows, right_rows[:7])
+    with using_kernels(True):
+        left, right = _pair(left_rows, right_rows, "columnar")
+        before = kernel_stats()
+        joined = left.hash_join(right)
+        semi = left.semijoin(Relation("R", ("y", "z"), right_rows[:7],
+                                      backend="columnar"))
+        moved = kernel_stats_delta(before)
+    assert moved.get("join_fallbacks", 0) > 0
+    assert moved.get("join_kernels", 0) == 0
+    assert moved.get("semijoin_fallbacks", 0) > 0
+    assert joined.rows == join_reference.rows
+    assert semi.rows == semi_reference.rows
+
+
+def test_counting_overflow_falls_back_in_marginalization():
+    big = kernels._COUNT_VALUE_LIMIT
+    values = {(i, i % 3): big + i for i in range(9)}
+    outputs = {}
+    deltas = {}
+    for kind in ("dict", "columnar"):
+        relation = AnnotatedRelation("R", ("x", "y"), values,
+                                     COUNTING_SEMIRING, backend=kind)
+        with using_kernels(True):
+            before = kernel_stats()
+            outputs[kind] = dict(relation.marginalize(["y"]).items())
+            deltas[kind] = kernel_stats_delta(before)
+    assert outputs["columnar"] == outputs["dict"]
+    assert deltas["columnar"].get("marginal_fallbacks", 0) > 0
+    assert deltas["columnar"].get("marginal_kernels", 0) == 0
+
+
+def test_top_k_semiring_falls_back_everywhere():
+    """Tuple-valued annotations have no array form: the non-vectorizable
+    semiring must take the fallback counters and still match the dict engine."""
+    semiring = top_k_min_plus_semiring(2)
+    r_values = {(1, "a"): (1.0, 3.0), (2, "b"): (2.0,)}
+    s_values = {("a", 10): (0.5,), ("a", 11): (1.5, 2.0), ("b", 20): (4.0,)}
+    outputs = {}
+    deltas = {}
+    for kind in ("dict", "columnar"):
+        r = AnnotatedRelation("R", ("x", "y"), r_values, semiring, backend=kind)
+        s = AnnotatedRelation("S", ("y", "z"), s_values, semiring, backend=kind)
+        with using_kernels(True):
+            before = kernel_stats()
+            fused = r.join_marginalize(s, drop=("y",))
+            marginal = r.marginalize(["x"])
+            deltas[kind] = kernel_stats_delta(before)
+        outputs[kind] = (dict(fused.items()), dict(marginal.items()))
+    assert outputs["columnar"] == outputs["dict"]
+    assert deltas["columnar"].get("join_marginalize_fallbacks", 0) > 0
+    assert deltas["columnar"].get("join_marginalize_kernels", 0) == 0
+    assert deltas["columnar"].get("marginal_fallbacks", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# worst-case-optimal join
+# ---------------------------------------------------------------------------
+
+def test_wcoj_kernel_matches_reference_answers_and_explored():
+    query = triangle_query()
+    database = random_graph_database(query, 60, 12, seed=5, backend="columnar")
+    with using_kernels(True):
+        kernel_counter = WorkCounter()
+        before = kernel_stats()
+        kernel_answer = generic_join(query, database, counter=kernel_counter)
+        moved = kernel_stats_delta(before)
+    with using_kernels(False):
+        reference_counter = WorkCounter()
+        reference_answer = generic_join(query, database,
+                                        counter=reference_counter)
+    assert moved.get("wcoj_kernels", 0) > 0
+    assert kernel_answer.rows == reference_answer.rows
+    # The breadth-first array frontier explores exactly the tuples the
+    # depth-first trie walk explores — the worst-case-optimality accounting
+    # is unchanged, not just the answers.
+    assert kernel_counter.intermediate_tuples == \
+        reference_counter.intermediate_tuples
+    assert kernel_counter.max_intermediate == reference_counter.max_intermediate
+
+
+# ---------------------------------------------------------------------------
+# encoded transport: shard views, payloads, executors
+# ---------------------------------------------------------------------------
+
+def test_kernel_shard_views_partition_exactly():
+    query = triangle_query()
+    database = random_graph_database(query, 80, 16, seed=9, backend="columnar")
+    relation = database["R"]
+    with using_kernels(True):
+        before = kernel_stats()
+        shards = relation.hash_shards(4)
+        moved = kernel_stats_delta(before)
+    assert moved.get("shard_kernels", 0) > 0
+    assert len(shards) == 4
+    seen: set[tuple] = set()
+    total = 0
+    for shard in shards:
+        assert shard.columns == relation.columns
+        rows = shard.rows
+        assert not (seen & rows), "shards overlap"
+        seen |= rows
+        total += len(shard)
+    assert seen == relation.rows and total == len(relation)
+
+
+def test_shard_dictionary_encodings_are_insertion_order_stable():
+    """Workers rebuild dictionaries from their own shard: identical value
+    sets must encode identically regardless of arrival order."""
+    rows = [("b",), ("a",), ("c",), (2,), (1,)]
+    forward = Relation("R", ("x",), rows, backend="columnar")
+    backward = Relation("R", ("x",), list(reversed(rows)), backend="columnar")
+    forward_dictionary = forward._backend.dictionary(0)
+    backward_dictionary = backward._backend.dictionary(0)
+    assert forward_dictionary.decode == backward_dictionary.decode
+    assert sorted(forward_dictionary.codes) == sorted(backward_dictionary.codes)
+
+
+def test_encoded_payload_pickle_round_trip():
+    rows = [(1, "a"), (2, "b"), (3, "a"), (None, (4, 5))]
+    relation = Relation("R", ("x", "y"), rows, backend="columnar")
+    with using_kernels(True):
+        payload = relation.encoded_payload()
+    assert payload is not None
+    revived = pickle.loads(pickle.dumps(payload))
+    rebuilt = ColumnarBackend.from_encoded(*revived)
+    assert len(rebuilt) == len(relation)
+    assert set(rebuilt.iter_rows()) == relation.rows
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_partitioned_kernel_execution_matches_serial(executor):
+    """Satellite regression: shard-stable encodings mean thread workers
+    (shared memory) and process workers (pickled encoded payloads) both
+    reproduce the serial answer exactly."""
+    query = four_cycle_projected()
+    database = random_graph_database(query, 40, 10, seed=21, backend="columnar")
+    with using_kernels(True):
+        engine = Engine(database, executor=executor)
+        serial = engine.execute(query)
+        sharded = engine.execute(query, shards=2)
+    assert sharded.answer.columns == serial.answer.columns
+    assert sharded.answer.rows == serial.answer.rows
+    assert engine.stats.shards_run == 2
+
+
+def test_engine_stats_surface_kernel_cache_events():
+    query = triangle_query()
+    database = random_graph_database(query, 40, 10, seed=3, backend="columnar")
+    with using_kernels(True):
+        engine = Engine(database)
+        engine.execute(query)
+    events = engine.stats.kernel_cache_events
+    assert sum(events.values()) > 0
+    assert any(count > 0 for event, count in events.items()
+               if event.endswith("_kernels"))
+    assert "kernel_cache_events" in engine.stats.as_dict()
