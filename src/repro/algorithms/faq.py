@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 
 from repro.query.cq import ConjunctiveQuery
 from repro.relational.database import Database
+from repro.relational.operators import WorkCounter
 from repro.relational.semiring import AnnotatedRelation, Semiring
 
 
@@ -57,7 +58,8 @@ class FAQResult:
 def evaluate_faq(query: ConjunctiveQuery, database: Database, semiring: Semiring,
                  weight: Callable[[str, dict], object] | None = None,
                  weight_key: str | None = None,
-                 elimination_order: Sequence[str] | None = None) -> FAQResult:
+                 elimination_order: Sequence[str] | None = None,
+                 counter: WorkCounter | None = None) -> FAQResult:
     """Evaluate the FAQ version of ``query`` over ``semiring``.
 
     Parameters
@@ -73,6 +75,12 @@ def evaluate_faq(query: ConjunctiveQuery, database: Database, semiring: Semiring
     elimination_order:
         Order in which the bound (existential) variables are eliminated;
         defaults to a greedy min-degree-style order.
+    counter:
+        Optional :class:`~repro.relational.operators.WorkCounter`: each
+        elimination step tallies the combined factor's size, and the
+        counter's cancellation token is consulted before every elimination
+        and every trailing join, so a deadline-exceeded FAQ raises
+        :class:`~repro.utils.cancellation.QueryCancelledError` mid-plan.
     """
     factors: list[AnnotatedRelation] = []
     for atom in query.atoms:
@@ -95,14 +103,24 @@ def evaluate_faq(query: ConjunctiveQuery, database: Database, semiring: Semiring
         untouched = [f for f in factors if variable not in f.column_set]
         if not touching:
             continue
+        if counter is not None:
+            counter.check()
         combined, peak = _eliminate(touching, variable)
         max_intermediate = max(max_intermediate, peak)
+        if counter is not None:
+            counter.tally(len(combined), peak,
+                          note=f"eliminate {variable}: {len(combined)} tuples")
         factors = untouched + [combined]
 
     result = factors[0]
     for factor in factors[1:]:
+        if counter is not None:
+            counter.check()
         result = result.join(factor)
         max_intermediate = max(max_intermediate, len(result))
+        if counter is not None:
+            counter.tally(len(result), len(result),
+                          note=f"join remaining factor -> {len(result)} tuples")
     remaining_bound = [c for c in result.columns if c in query.bound_variables]
     if remaining_bound:
         result = result.marginalize([c for c in result.columns

@@ -38,6 +38,14 @@ from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
 from repro.relational.storage import ColumnarBackend
+from repro.utils.cancellation import QueryCancelledError
+
+#: How many explored partial assignments the depth-first enumeration may
+#: process between two cancellation checks.  This bounds the cooperative
+#: cancellation overshoot: once a :class:`WorkCounter`'s token trips, the
+#: recursion performs at most ``CHECK_INTERVAL`` further extensions before
+#: raising (the vectorized path checks once per frontier level instead).
+CHECK_INTERVAL = 256
 
 
 class _IndexedRelation:
@@ -87,6 +95,8 @@ def generic_join(query: ConjunctiveQuery, database: Database,
     order = list(variable_order) if variable_order else sorted(query.variables)
     if set(order) != set(query.variables):
         raise ValueError("variable_order must mention every query variable exactly once")
+    if counter is not None:
+        counter.check()
     bound = database.bind_query(query)
     free = sorted(query.free_variables)
     order_index = {variable: level for level, variable in enumerate(order)}
@@ -104,7 +114,20 @@ def generic_join(query: ConjunctiveQuery, database: Database,
             specs.append((relation._backend,
                           tuple(relation.column_index(v) for v in rel_vars),
                           tuple(order_index[v] for v in rel_vars)))
-        kernel_result = kernels.wcoj(specs, depth_total, free_levels)
+        if counter is not None:
+            def level_check(explored_so_far: int,
+                            counter: WorkCounter = counter) -> None:
+                try:
+                    counter.check()
+                except QueryCancelledError:
+                    counter.tally(explored_so_far, 0,
+                                  note=f"generic join cancelled after exploring "
+                                       f"{explored_so_far} partial assignments")
+                    raise
+        else:
+            level_check = None
+        kernel_result = kernels.wcoj(specs, depth_total, free_levels,
+                                     check=level_check)
         if kernel_result is not None:
             encoded, kernel_explored = kernel_result
             result = Relation._from_backend(
@@ -119,6 +142,7 @@ def generic_join(query: ConjunctiveQuery, database: Database,
     output_rows: set[tuple] = set()
     values: list = [None] * depth_total
     explored = 0
+    check = counter.check if counter is not None else None
 
     def recurse(level: int) -> None:
         nonlocal explored
@@ -141,9 +165,20 @@ def generic_join(query: ConjunctiveQuery, database: Database,
         for value in candidates:
             values[level] = value
             explored += 1
+            if check is not None and explored % CHECK_INTERVAL == 0:
+                check()
             recurse(level + 1)
 
-    recurse(0)
+    try:
+        recurse(0)
+    except QueryCancelledError:
+        # Account the partial exploration before propagating, so cancellation
+        # overshoot stays observable through the counter's tally deltas.
+        if counter is not None:
+            counter.tally(explored, 0,
+                          note=f"generic join cancelled after exploring "
+                               f"{explored} partial assignments")
+        raise
     backend_kind = bound[0].backend_kind if bound else None
     result = Relation(query.name, tuple(free), output_rows, backend=backend_kind)
     if counter is not None:

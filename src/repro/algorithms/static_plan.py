@@ -96,6 +96,7 @@ def evaluate_static_plan(query: ConjunctiveQuery, database: Database,
     work = counter if counter is not None else report.counter
     bag_relations = []
     for bag in decomposition.bags:
+        work.check()
         relation = compute_bag_relation(query, database, bag, counter=work)
         report.bag_sizes[bag] = len(relation)
         bag_relations.append(relation)

@@ -120,6 +120,8 @@ def _full_reducer(relations: list[Relation], tree: JoinTree,
         parent = tree.parent[index]
         if parent is None:
             continue
+        if counter is not None:
+            counter.check()
         current[parent] = current[parent].semijoin(current[index])
         if counter is not None:
             counter.record(current[parent], note=f"semijoin up into node {parent}")
@@ -128,6 +130,8 @@ def _full_reducer(relations: list[Relation], tree: JoinTree,
         parent = tree.parent[index]
         if parent is None:
             continue
+        if counter is not None:
+            counter.check()
         current[index] = current[index].semijoin(current[parent])
         if counter is not None:
             counter.record(current[index], note=f"semijoin down into node {index}")
@@ -158,10 +162,14 @@ def _bottom_up_join(relations: list[Relation], tree: JoinTree,
             child_separators |= tree.nodes[index] & tree.nodes[child]
         own = relations[index]
         own_keep = (own.column_set & free_variables) | separator | child_separators
+        if counter is not None:
+            counter.check()
         result = own.project(sorted(own_keep & own.column_set))
         if counter is not None:
             counter.record(result, note=f"project own relation of node {index}")
         for child in tree.children(index):
+            if counter is not None:
+                counter.check()
             result = result.hash_join(partial[child])
             if counter is not None:
                 counter.record(result, note=f"join child {child} into node {index}")

@@ -25,6 +25,7 @@ adaptive-PANDA per query; PRs 1–3 gave the storage and LP layers caches.  The
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -48,13 +49,27 @@ from repro.optimizer.planner import (
 from repro.query.cq import ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.kernels import kernel_stats, kernel_stats_delta
+from repro.relational.operators import WorkCounter
 from repro.stats.collect import collect_statistics
 from repro.stats.constraints import ConstraintSet
+from repro.utils.cancellation import CancellationToken, QueryCancelledError
 
 
 @dataclass
 class EngineStats:
-    """Serving metrics: planning reuse, execution shape, cache activity."""
+    """Serving metrics: planning reuse, execution shape, cache activity.
+
+    Updates are atomic: every counter movement goes through :meth:`bump` /
+    :meth:`absorb_events`, which apply their whole delta under one internal
+    lock.  Two sessions finishing simultaneously — the multi-tenant service
+    completes queries of one engine on several worker threads — therefore
+    never lose increments to interleaved read-modify-write, and
+    :meth:`as_dict` returns an internally consistent snapshot.  (The LP and
+    kernel *event deltas* are measured against process-global counters, so
+    under concurrent sessions an execution's bucket may include a neighbour's
+    movements — the totals remain exact, the per-session attribution is
+    approximate.)
+    """
 
     plans_built: int = 0
     plans_reused: int = 0
@@ -63,6 +78,9 @@ class EngineStats:
     executions: int = 0
     serial_executions: int = 0
     parallel_executions: int = 0
+    #: Executions that raised ``QueryCancelledError`` (deadline or explicit
+    #: cancel) before producing an answer; not counted in ``executions``.
+    cancelled_executions: int = 0
     shards_run: int = 0
     invalidations: int = 0
     wall_time_seconds: float = 0.0
@@ -75,33 +93,45 @@ class EngineStats:
     #: Aggregated vectorized-kernel usage/fallback deltas (kernel joins and
     #: marginals taken, reference-path fallbacks) observed during executions.
     kernel_cache_events: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, **deltas: int | float) -> None:
+        """Apply counter increments as one atomic batch."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def absorb_events(self, target: str, delta: dict[str, int]) -> None:
-        bucket = getattr(self, target)
-        for event, count in delta.items():
-            if count:
-                bucket[event] = bucket.get(event, 0) + count
+        with self._lock:
+            bucket = getattr(self, target)
+            for event, count in delta.items():
+                if count:
+                    bucket[event] = bucket.get(event, 0) + count
 
     def as_dict(self) -> dict:
-        return {
-            "plans_built": self.plans_built,
-            "plans_reused": self.plans_reused,
-            "statistics_measured": self.statistics_measured,
-            "statistics_reused": self.statistics_reused,
-            "executions": self.executions,
-            "serial_executions": self.serial_executions,
-            "parallel_executions": self.parallel_executions,
-            "shards_run": self.shards_run,
-            "invalidations": self.invalidations,
-            "wall_time_seconds": self.wall_time_seconds,
-            "storage_cache_events": dict(self.storage_cache_events),
-            "lp_cache_events": dict(self.lp_cache_events),
-            "kernel_cache_events": dict(self.kernel_cache_events),
-        }
+        with self._lock:
+            return {
+                "plans_built": self.plans_built,
+                "plans_reused": self.plans_reused,
+                "statistics_measured": self.statistics_measured,
+                "statistics_reused": self.statistics_reused,
+                "executions": self.executions,
+                "serial_executions": self.serial_executions,
+                "parallel_executions": self.parallel_executions,
+                "cancelled_executions": self.cancelled_executions,
+                "shards_run": self.shards_run,
+                "invalidations": self.invalidations,
+                "wall_time_seconds": self.wall_time_seconds,
+                "storage_cache_events": dict(self.storage_cache_events),
+                "lp_cache_events": dict(self.lp_cache_events),
+                "kernel_cache_events": dict(self.kernel_cache_events),
+            }
 
     def describe(self) -> str:
         lines = [f"engine: {self.executions} executions "
-                 f"({self.parallel_executions} parallel, {self.shards_run} shards) "
+                 f"({self.parallel_executions} parallel, {self.shards_run} shards, "
+                 f"{self.cancelled_executions} cancelled) "
                  f"in {self.wall_time_seconds:.4f}s",
                  f"  plans: {self.plans_built} built, {self.plans_reused} reused; "
                  f"statistics: {self.statistics_measured} measured, "
@@ -137,10 +167,12 @@ class PreparedQuery:
     _revision: int
     _snapshot: tuple
 
-    def execute(self, shards: int | None = None) -> ExecutionResult:
+    def execute(self, shards: int | None = None,
+                cancellation: CancellationToken | None = None) -> ExecutionResult:
         self._refresh()
         return self.engine._execute_plan(
-            self.plan, self.shards if shards is None else shards)
+            self.plan, self.shards if shards is None else shards,
+            cancellation=cancellation)
 
     def execute_many(self, batch: Iterable[Database] | None = None,
                      repeat: int = 1,
@@ -166,7 +198,7 @@ class PreparedQuery:
         if (engine.database.revision == self._revision
                 and engine.database.backend_snapshot() == self._snapshot):
             return
-        engine.stats.invalidations += 1
+        engine.stats.bump(invalidations=1)
         if not self._explicit_statistics:
             self.statistics = engine.measured_statistics(self.query)
         self.plan = engine._resolve_plan(self.query, self.statistics)
@@ -230,12 +262,12 @@ class Engine:
         if memo is not None:
             revision, seen_snapshot, statistics = memo
             if revision == self.database.revision and seen_snapshot == snapshot:
-                self.stats.statistics_reused += 1
+                self.stats.bump(statistics_reused=1)
                 return statistics
         statistics = collect_statistics(self.database, query,
                                         include_degrees=self.measure_degrees)
         self._stats_memo.put(query, (self.database.revision, snapshot, statistics))
-        self.stats.statistics_measured += 1
+        self.stats.bump(statistics_measured=1)
         return statistics
 
     # -------------------------------------------------------------- planning
@@ -256,9 +288,17 @@ class Engine:
 
     def execute(self, query: ConjunctiveQuery,
                 statistics: ConstraintSet | None = None,
-                shards: int | None = None) -> ExecutionResult:
-        """Plan-cache-aware one-shot execution against the engine database."""
-        return self.prepare(query, statistics=statistics, shards=shards).execute()
+                shards: int | None = None,
+                cancellation: CancellationToken | None = None) -> ExecutionResult:
+        """Plan-cache-aware one-shot execution against the engine database.
+
+        ``cancellation`` threads a cooperative token (deadline or explicit
+        cancel) into the plan's inner loops; a tripped token raises
+        :class:`~repro.utils.cancellation.QueryCancelledError` and the
+        execution is accounted under ``stats.cancelled_executions``.
+        """
+        return self.prepare(query, statistics=statistics,
+                            shards=shards).execute(cancellation=cancellation)
 
     def execute_many(self, queries: Sequence[ConjunctiveQuery],
                      shards: int | None = None) -> list[ExecutionResult]:
@@ -276,7 +316,7 @@ class Engine:
         """Drop every cached plan and memoized statistic."""
         self.plan_cache.clear()
         self._stats_memo.clear()
-        self.stats.invalidations += 1
+        self.stats.bump(invalidations=1)
 
     # -------------------------------------------------------------- internals
     def _plan_key(self, query_digest: str, statistics_digest: str) -> tuple:
@@ -292,7 +332,7 @@ class Engine:
         if recipe is not None:
             rebuilt = self._plan_from_recipe(recipe, query, statistics, renaming)
             if rebuilt is not None:
-                self.stats.plans_reused += 1
+                self.stats.bump(plans_reused=1)
                 return rebuilt
         before_lp = lp_cache_stats()
         estimate = estimate_costs(query, statistics,
@@ -304,7 +344,7 @@ class Engine:
         chosen.fingerprint = plan_fingerprint(query_digest, statistics_digest)
         self.stats.absorb_events("lp_cache_events", lp_cache_delta(before_lp))
         self.plan_cache.put(key, self._recipe_from_plan(chosen, renaming))
-        self.stats.plans_built += 1
+        self.stats.bump(plans_built=1)
         return chosen
 
     def _recipe_from_plan(self, chosen: QueryPlan,
@@ -355,31 +395,59 @@ class Engine:
                             fingerprint=recipe.fingerprint)
 
     def _execute_plan(self, chosen: QueryPlan, shards: int,
-                      database: Database | None = None) -> ExecutionResult:
+                      database: Database | None = None,
+                      cancellation: CancellationToken | None = None) -> ExecutionResult:
         database = self.database if database is None else database
         storage_before = database.cache_stats()
         lp_before = lp_cache_stats()
         kernel_before = kernel_stats()
         started = time.perf_counter()
-        result = None
-        if shards > 1:
-            result = run_partitioned(chosen, database, shards,
-                                     executor=self.executor)
-        if result is not None:
-            self.stats.parallel_executions += 1
-            self.stats.shards_run += shards
+        try:
+            if cancellation is not None:
+                cancellation.check()
+            result = None
+            if shards > 1:
+                result = run_partitioned(chosen, database, shards,
+                                         executor=self.executor,
+                                         cancellation=cancellation)
+            if result is not None:
+                parallel = True
+            else:
+                counter = (WorkCounter(cancellation=cancellation)
+                           if cancellation is not None else None)
+                result = chosen.execute(database, counter=counter)
+                parallel = False
+        except QueryCancelledError:
+            # A cancelled run still spent wall time and moved the caches;
+            # account for it (separately from successful executions) so the
+            # service's deadline tests can assert bounded overshoot from the
+            # stats alone.
+            self.stats.bump(cancelled_executions=1,
+                            wall_time_seconds=time.perf_counter() - started)
+            self._absorb_execution_events(database, storage_before,
+                                          lp_before, kernel_before)
+            raise
+        if parallel:
+            self.stats.bump(executions=1, parallel_executions=1,
+                            shards_run=shards,
+                            wall_time_seconds=time.perf_counter() - started)
         else:
-            result = chosen.execute(database)
-            self.stats.serial_executions += 1
-        self.stats.executions += 1
-        self.stats.wall_time_seconds += time.perf_counter() - started
+            self.stats.bump(executions=1, serial_executions=1,
+                            wall_time_seconds=time.perf_counter() - started)
+        self._absorb_execution_events(database, storage_before,
+                                      lp_before, kernel_before)
+        return result
+
+    def _absorb_execution_events(self, database: Database,
+                                 storage_before: dict[str, int],
+                                 lp_before: dict[str, int],
+                                 kernel_before: dict[str, int]) -> None:
         self.stats.absorb_events("storage_cache_events",
                                  _dict_delta(database.cache_stats(),
                                              storage_before))
         self.stats.absorb_events("lp_cache_events", lp_cache_delta(lp_before))
         self.stats.absorb_events("kernel_cache_events",
                                  kernel_stats_delta(kernel_before))
-        return result
 
 
 def _dict_delta(after: dict[str, int], before: dict[str, int]) -> dict[str, int]:

@@ -34,6 +34,7 @@ from repro.query.cq import Atom, ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
+from repro.utils.cancellation import CancellationToken
 
 EXECUTORS = ("thread", "process", "serial")
 
@@ -124,8 +125,15 @@ def _database_payload(database: Database) -> dict:
     return payload
 
 
-def _shard_payload(plan, shard_db: Database) -> dict:
-    """Everything a worker process needs to re-run ``plan`` on ``shard_db``."""
+def _shard_payload(plan, shard_db: Database,
+                   cancellation: CancellationToken | None = None) -> dict:
+    """Everything a worker process needs to re-run ``plan`` on ``shard_db``.
+
+    Cancellation crosses the process boundary as a wall-clock ``deadline``
+    (every worker on the box reads the same clock), so a deadline-exceeded
+    sharded run trips cooperatively inside each worker rather than waiting
+    for the pool to finish.
+    """
     return {
         "kind": plan.kind,
         "query": plan.query,
@@ -135,6 +143,7 @@ def _shard_payload(plan, shard_db: Database) -> dict:
         "decomposition_bags": tuple(tuple(td.bags)
                                     for td in plan.decompositions),
         "relations": _database_payload(shard_db),
+        "deadline": cancellation.deadline if cancellation is not None else None,
     }
 
 
@@ -167,18 +176,31 @@ def _execute_shard(payload: dict):
     plan = realize_plan(payload["kind"], payload["query"], payload["statistics"],
                         reason="shard worker", decomposition=decomposition,
                         decompositions=decompositions, validate=False)
-    result = plan.execute(database)
+    counter = None
+    if payload.get("deadline") is not None:
+        token = CancellationToken(deadline=payload["deadline"])
+        counter = WorkCounter(cancellation=token)
+    result = plan.execute(database, counter=counter)
     result.details = None
     return result
 
 
 def run_partitioned(plan, database: Database, shards: int,
-                    executor: str = "thread"):
+                    executor: str = "thread",
+                    cancellation: CancellationToken | None = None):
     """Execute ``plan`` over ``shards`` hash-partitions of its heaviest atom.
 
     Returns the merged :class:`~repro.optimizer.planner.ExecutionResult`
     (identical to the serial answer), or ``None`` when the query has no
     partitionable atom, in which case the caller should run serially.
+
+    ``cancellation`` optionally threads a cooperative token through every
+    shard: thread (and serial) workers share the token object directly via
+    per-shard :class:`WorkCounter`\\ s, process workers rebuild an equivalent
+    token from the shipped wall-clock deadline.  The first shard to trip
+    raises :class:`~repro.utils.cancellation.QueryCancelledError`, which
+    propagates out of the pool; the remaining shards observe the same token
+    (or deadline) and stop cooperatively as well.
     """
     if shards < 2:
         raise ValueError("partition-parallel execution needs at least 2 shards")
@@ -187,19 +209,31 @@ def run_partitioned(plan, database: Database, shards: int,
     atom = choose_partition_atom(plan.query, database)
     if atom is None:
         return None
+    if cancellation is not None:
+        cancellation.check()
+
+    def shard_counter() -> WorkCounter | None:
+        if cancellation is None:
+            return None
+        return WorkCounter(cancellation=cancellation)
+
     shard_dbs = shard_databases(database, atom, shards)
     if executor == "serial":
         # The sharded dataflow on one core: useful for debugging and for
         # exact parity tests that must not depend on scheduling.
-        shard_results = [plan.execute(shard_db) for shard_db in shard_dbs]
+        shard_results = [plan.execute(shard_db, counter=shard_counter())
+                         for shard_db in shard_dbs]
     elif executor == "process":
-        payloads = [_shard_payload(plan, shard_db) for shard_db in shard_dbs]
+        payloads = [_shard_payload(plan, shard_db, cancellation)
+                    for shard_db in shard_dbs]
         with ProcessPoolExecutor(max_workers=shards,
                                  mp_context=_process_context()) as pool:
             shard_results = list(pool.map(_execute_shard, payloads))
     else:
         with ThreadPoolExecutor(max_workers=shards) as pool:
-            shard_results = list(pool.map(plan.execute, shard_dbs))
+            shard_results = list(pool.map(
+                lambda shard_db: plan.execute(shard_db, counter=shard_counter()),
+                shard_dbs))
     return merge_shard_results(plan.query, shard_results, database.backend_kind)
 
 

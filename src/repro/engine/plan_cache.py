@@ -16,6 +16,7 @@ reuse across all three cache layers uniformly.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -46,6 +47,13 @@ class LruDict:
     The one LRU policy in the engine: the plan cache and the engine's
     measured-statistics memo both delegate here, so eviction semantics
     cannot drift between them.
+
+    Operations are individually atomic (an internal lock): the multi-tenant
+    service executes queries of one engine from several worker threads at
+    once, and ``OrderedDict``'s move-to-end bookkeeping is not safe under
+    concurrent mutation.  Lookups of a missing key and concurrent ``put`` of
+    the same key remain benign races (the last writer wins, which for
+    idempotent recipe/statistics entries is the same value).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -53,6 +61,7 @@ class LruDict:
             raise ValueError("an LRU cache needs capacity for at least one entry")
         self.capacity = capacity
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,23 +71,26 @@ class LruDict:
 
     def get(self, key):
         """The entry for ``key`` (marked most recently used), or ``None``."""
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
 
     def put(self, key, value) -> int:
         """Store ``key -> value``; returns how many entries were evicted."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        evictions = 0
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            evictions += 1
-        return evictions
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            evictions = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evictions += 1
+            return evictions
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class PlanCache:
@@ -86,6 +98,7 @@ class PlanCache:
 
     def __init__(self, capacity: int = 128) -> None:
         self._entries = LruDict(capacity)
+        self._stats_lock = threading.Lock()
         self.stats: dict[str, int] = {
             "plan_builds": 0, "plan_hits": 0, "plan_evictions": 0,
         }
@@ -104,13 +117,16 @@ class PlanCache:
         """The cached recipe for ``key`` (marks it most recently used)."""
         recipe = self._entries.get(key)
         if recipe is not None:
-            self.stats["plan_hits"] += 1
+            with self._stats_lock:
+                self.stats["plan_hits"] += 1
         return recipe
 
     def put(self, key: tuple, recipe: PlanRecipe) -> None:
         """Store a freshly built recipe, evicting the least recently used."""
-        self.stats["plan_builds"] += 1
-        self.stats["plan_evictions"] += self._entries.put(key, recipe)
+        evictions = self._entries.put(key, recipe)
+        with self._stats_lock:
+            self.stats["plan_builds"] += 1
+            self.stats["plan_evictions"] += evictions
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved — they tell the story)."""
@@ -118,4 +134,5 @@ class PlanCache:
 
     def cache_stats(self) -> dict[str, int]:
         """Build/hit/eviction counters plus the current entry count."""
-        return {**self.stats, "plan_entries": len(self._entries)}
+        with self._stats_lock:
+            return {**self.stats, "plan_entries": len(self._entries)}

@@ -77,7 +77,7 @@ class QueryPlan:
     kind: PlanKind
     query: ConjunctiveQuery
     statistics: ConstraintSet
-    runner: Callable[[Database], ExecutionResult]
+    runner: Callable[[Database, WorkCounter | None], ExecutionResult]
     reason: str
     estimate: CostEstimate | None = None
     #: The static plan's tree decomposition (``STATIC_TD`` only).
@@ -88,8 +88,15 @@ class QueryPlan:
     #: fingerprint.  Empty for plans built outside an engine.
     fingerprint: str = ""
 
-    def execute(self, database: Database) -> ExecutionResult:
-        return self.runner(database)
+    def execute(self, database: Database,
+                counter: WorkCounter | None = None) -> ExecutionResult:
+        """Run the plan; ``counter`` optionally supplies the work counter.
+
+        Passing a counter is how callers thread a cooperative cancellation
+        token (``WorkCounter(cancellation=token)``) into the evaluation inner
+        loops; the result's ``counter`` is then that same object.
+        """
+        return self.runner(database, counter)
 
     def explain(self) -> str:
         lines = [f"plan for {self.query}",
@@ -122,16 +129,17 @@ def realize_plan(kind: PlanKind, query: ConjunctiveQuery,
     """
     decompositions = tuple(decompositions)
     if kind is PlanKind.YANNAKAKIS:
-        runner = lambda database: _run_yannakakis(query, database)  # noqa: E731
+        runner = lambda database, counter=None: _run_yannakakis(  # noqa: E731
+            query, database, counter=counter)
     elif kind is PlanKind.ADAPTIVE_PANDA:
-        runner = lambda database: _run_adaptive(  # noqa: E731
+        runner = lambda database, counter=None: _run_adaptive(  # noqa: E731
             query, database, statistics, max_variables,
-            decompositions=decompositions or None)
+            decompositions=decompositions or None, counter=counter)
     elif kind is PlanKind.STATIC_TD:
         if decomposition is None:
             raise ValueError("a static plan needs its tree decomposition")
-        runner = lambda database: _run_static(  # noqa: E731
-            query, database, decomposition, validate=validate)
+        runner = lambda database, counter=None: _run_static(  # noqa: E731
+            query, database, decomposition, validate=validate, counter=counter)
     else:  # pragma: no cover - exhaustive over PlanKind
         raise ValueError(f"unknown plan kind: {kind!r}")
     return QueryPlan(kind=kind, query=query, statistics=statistics,
@@ -210,15 +218,19 @@ def plan_and_execute(query: ConjunctiveQuery, database: Database,
 # runners
 # ---------------------------------------------------------------------------
 
-def _run_yannakakis(query: ConjunctiveQuery, database: Database) -> ExecutionResult:
-    counter = WorkCounter()
+def _run_yannakakis(query: ConjunctiveQuery, database: Database,
+                    counter: WorkCounter | None = None) -> ExecutionResult:
+    counter = counter if counter is not None else WorkCounter()
+    counter.check()
     answer = evaluate_yannakakis(query, database, counter=counter)
     return ExecutionResult(answer=answer, counter=counter)
 
 
 def _run_static(query: ConjunctiveQuery, database: Database,
-                decomposition, validate: bool = True) -> ExecutionResult:
-    counter = WorkCounter()
+                decomposition, validate: bool = True,
+                counter: WorkCounter | None = None) -> ExecutionResult:
+    counter = counter if counter is not None else WorkCounter()
+    counter.check()
     answer, report = evaluate_static_plan(query, database, decomposition,
                                           counter=counter, validate=validate)
     return ExecutionResult(answer=answer, counter=counter, details=report)
@@ -227,8 +239,9 @@ def _run_static(query: ConjunctiveQuery, database: Database,
 def _run_adaptive(query: ConjunctiveQuery, database: Database,
                   statistics: ConstraintSet, max_variables: int,
                   decompositions: Sequence[TreeDecomposition] | None = None,
-                  ) -> ExecutionResult:
-    counter = WorkCounter()
+                  counter: WorkCounter | None = None) -> ExecutionResult:
+    counter = counter if counter is not None else WorkCounter()
+    counter.check()
     answer, report = evaluate_adaptive(query, database, statistics=statistics,
                                        decompositions=decompositions,
                                        max_variables=max_variables,

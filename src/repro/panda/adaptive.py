@@ -132,6 +132,7 @@ def _evaluate_all_ddrs(query: ConjunctiveQuery, database: Database,
             bag_relations.setdefault(
                 bag, Relation(f"Q{format_varset(bag)}", tuple(sorted(bag)), []))
     for selector in bag_selectors(decompositions):
+        report.counter.check()
         ddr = DisjunctiveDatalogRule(query, selector)
         heads, ddr_report = evaluate_ddr(ddr, database, statistics)
         report.ddr_reports.append(ddr_report)
@@ -157,6 +158,7 @@ def _semijoin_reduce_bags(query: ConjunctiveQuery, database: Database,
     """
     bound = list(zip(query.atoms, database.bind_query(query)))
     for bag, relation in bag_relations.items():
+        report.counter.check()
         reduced = relation
         for atom, filter_relation in bound:
             if atom.varset <= bag:

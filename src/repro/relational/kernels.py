@@ -526,8 +526,14 @@ def shard_assignments(backend, width: int, count: int):
 # ---------------------------------------------------------------------------
 
 def wcoj(specs: Sequence[tuple], depth_total: int,
-         free_levels: Sequence[int]):
+         free_levels: Sequence[int], check=None):
     """Generic join as a breadth-first vectorized frontier.
+
+    ``check`` is an optional cooperative-cancellation hook called once per
+    frontier level with the number of partial assignments explored so far; a
+    hook that raises aborts the enumeration between levels (the vectorized
+    analogue of the depth-first path's periodic
+    :data:`~repro.algorithms.generic_join.CHECK_INTERVAL` checks).
 
     ``specs`` holds ``(backend, positions, levels)`` per bound relation:
     ``positions[j]`` is the column of the relation's ``j``-th variable (in
@@ -594,6 +600,8 @@ def wcoj(specs: Sequence[tuple], depth_total: int,
         return _memo(backend, ("wcoj", positions[:rank + 1], uids), build)
 
     for level in range(depth_total):
+        if check is not None:
+            check(explored)
         entries = plans[level]
         ext_index, ext_rank = entries[0]
         backend, positions, levels = specs[ext_index]

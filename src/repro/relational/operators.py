@@ -29,14 +29,33 @@ class WorkCounter:
     never loses counts.  (The engine's default is still one counter per
     worker, merged at join — :meth:`merge` snapshots the source under its own
     lock, so merging is safe in either topology.)
+
+    ``cancellation`` optionally carries a cooperative cancellation token
+    (:class:`~repro.utils.cancellation.CancellationToken`).  The evaluation
+    algorithms call :meth:`check` inside their inner loops — the generic
+    join every few hundred explored partial assignments, Yannakakis and the
+    FAQ evaluator at every operator step — so a cancelled or
+    deadline-exceeded query raises
+    :class:`~repro.utils.cancellation.QueryCancelledError` mid-plan, with the
+    work performed up to that point still tallied.  :meth:`check` is explicit
+    and never called by :meth:`tally`/:meth:`record`, so accounting stays
+    pure: a cancelled algorithm can tally its partial work before re-raising.
     """
 
     intermediate_tuples: int = 0
     max_intermediate: int = 0
     materializations: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Optional cooperative-cancellation token (anything with ``check()``).
+    cancellation: object | None = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
+
+    def check(self) -> None:
+        """Consult the cancellation token, raising if the query should stop."""
+        token = self.cancellation
+        if token is not None:
+            token.check()
 
     def record(self, relation: Relation, note: str | None = None) -> Relation:
         size = len(relation)

@@ -1,0 +1,64 @@
+"""Multi-tenant asyncio query service over plan-cached engines (PR 7).
+
+In-process use::
+
+    service = QueryService(ServiceConfig(max_concurrent=4))
+    service.create_tenant("acme", database)
+    result = asyncio.run(service.query("acme", "Q(x, z) :- R(x, y), S(y, z)"))
+
+Over HTTP::
+
+    frontend = await serve(service, port=8080)
+
+See :mod:`repro.service.core` for the serving semantics (admission,
+deadlines, streaming, drain) and :mod:`repro.service.http` for the routes.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.core import (
+    QueryResult,
+    QueryService,
+    ServiceConfig,
+    database_from_payload,
+)
+from repro.service.errors import (
+    AdmissionRejectedError,
+    BadRequestError,
+    DeadlineExceededError,
+    DuplicateTenantError,
+    InvalidQueryError,
+    QueryAbortedError,
+    QueryExecutionError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownStreamError,
+    UnknownTenantError,
+)
+from repro.service.http import HttpFrontend, serve
+from repro.service.registry import Tenant, TenantRegistry
+from repro.service.streaming import ResultPage, ResultStream
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "BadRequestError",
+    "DeadlineExceededError",
+    "DuplicateTenantError",
+    "HttpFrontend",
+    "InvalidQueryError",
+    "QueryAbortedError",
+    "QueryExecutionError",
+    "QueryResult",
+    "QueryService",
+    "ResultPage",
+    "ResultStream",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "Tenant",
+    "TenantRegistry",
+    "UnknownStreamError",
+    "UnknownTenantError",
+    "database_from_payload",
+    "serve",
+]

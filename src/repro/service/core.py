@@ -1,0 +1,389 @@
+"""The asyncio query service: multi-tenant serving over cached-plan engines.
+
+:class:`QueryService` is the in-process front: it owns a
+:class:`~repro.service.registry.TenantRegistry` (one engine, plan cache and
+stats block per tenant), an
+:class:`~repro.service.admission.AdmissionController` (global + per-tenant
+concurrency with bounded queues and fast rejection), and a thread pool the
+synchronous engine calls actually run on.  The HTTP front
+(:mod:`repro.service.http`) is a thin JSON shim over :meth:`QueryService.handle`;
+everything interesting — deadlines, cancellation, streaming, stats — is
+testable here without opening a socket.
+
+Deadlines are cooperative: each query gets a
+:class:`~repro.utils.cancellation.CancellationToken` threaded through the
+engine into the evaluation inner loops (and across process boundaries as a
+wall-clock deadline), so a query over a pathological intermediate join stops
+*mid-plan*, within a bounded number of work steps of its deadline — it does
+not run to completion and then notice it was late.
+
+Shutdown drains: new queries are refused with ``service-unavailable``,
+in-flight queries finish (or, past an optional grace period, are cancelled
+through the same tokens), then the worker pool is torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.lp.model import lp_cache_stats
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import QueryParseError, parse_query
+from repro.relational.database import Database
+from repro.relational.kernels import kernel_stats
+from repro.relational.relation import Relation
+from repro.service.admission import AdmissionController
+from repro.service.errors import (
+    AdmissionRejectedError,
+    BadRequestError,
+    DeadlineExceededError,
+    InvalidQueryError,
+    QueryAbortedError,
+    QueryExecutionError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownStreamError,
+)
+from repro.service.registry import Tenant, TenantRegistry
+from repro.service.streaming import ResultPage, ResultStream
+from repro.utils.cancellation import CancellationToken, QueryCancelledError
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the serving loop (all enforced, all reported in ``/stats``)."""
+
+    max_concurrent: int = 8
+    max_per_tenant: int = 4
+    queue_depth: int = 16
+    tenant_queue_depth: int = 8
+    #: Applied when a query names no timeout; ``None`` means run unbounded.
+    default_timeout: float | None = None
+    default_page_size: int = 64
+    #: Open result streams retained per service; the oldest stream is evicted
+    #: (its remaining pages become unreachable) when the bound is exceeded.
+    max_open_streams: int = 64
+    executor_threads: int = 8
+
+    def as_dict(self) -> dict:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "max_per_tenant": self.max_per_tenant,
+            "queue_depth": self.queue_depth,
+            "tenant_queue_depth": self.tenant_queue_depth,
+            "default_timeout": self.default_timeout,
+            "default_page_size": self.default_page_size,
+            "max_open_streams": self.max_open_streams,
+            "executor_threads": self.executor_threads,
+        }
+
+
+@dataclass
+class QueryResult:
+    """A completed query: identity, first page, and the full lazy answer."""
+
+    tenant: str
+    stream_id: str
+    columns: tuple[str, ...]
+    row_count: int
+    elapsed: float
+    page: ResultPage
+    #: The answer relation itself — in-process callers can keep joining /
+    #: comparing without round-tripping rows through pages.
+    answer: Relation = field(repr=False)
+
+    def to_dict(self) -> dict:
+        return {"tenant": self.tenant, "stream_id": self.stream_id,
+                "columns": list(self.columns), "row_count": self.row_count,
+                "elapsed": self.elapsed, "page": self.page.to_dict()}
+
+
+class QueryService:
+    """The in-process service object; see the module docstring."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = TenantRegistry()
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            max_per_tenant=self.config.max_per_tenant,
+            queue_depth=self.config.queue_depth,
+            tenant_queue_depth=self.config.tenant_queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-service")
+        self._streams: OrderedDict[str, ResultStream] = OrderedDict()
+        self._stream_ids = itertools.count(1)
+        self._active_tokens: set[CancellationToken] = set()
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closing = False
+        self.started_at = time.time()
+
+    # -------------------------------------------------------------- tenants
+    def create_tenant(self, name: str, database: Database, *,
+                      shards: int = 1, executor: str = "thread",
+                      plan_cache_size: int = 128, max_variables: int = 9,
+                      measure_degrees: bool = False) -> Tenant:
+        if self._closing:
+            raise ServiceUnavailableError("service is shutting down")
+        return self.registry.create(
+            name, database, shards=shards, executor=executor,
+            plan_cache_size=plan_cache_size, max_variables=max_variables,
+            measure_degrees=measure_degrees)
+
+    def drop_tenant(self, name: str) -> None:
+        self.registry.drop(name)
+        for stream_id in [sid for sid, stream in self._streams.items()
+                          if stream.tenant == name]:
+            del self._streams[stream_id]
+
+    # -------------------------------------------------------------- queries
+    async def query(self, tenant_name: str, query: ConjunctiveQuery | str, *,
+                    timeout: float | None = None, shards: int | None = None,
+                    page_size: int | None = None) -> QueryResult:
+        """Admit, execute and stream one query for ``tenant_name``.
+
+        Raises a typed :class:`~repro.service.errors.ServiceError` subclass on
+        every failure path: unknown tenant, unparsable query, admission
+        rejection, deadline, engine failure, shutdown.
+        """
+        if self._closing:
+            raise ServiceUnavailableError("service is shutting down")
+        tenant = self.registry.get(tenant_name)
+        parsed = self._parse(query)
+        effective_timeout = (self.config.default_timeout
+                             if timeout is None else timeout)
+        token = (CancellationToken.with_timeout(effective_timeout)
+                 if effective_timeout is not None else CancellationToken())
+        try:
+            async with self.admission.slot(tenant_name):
+                started = time.perf_counter()
+                result = await self._run_on_pool(tenant, parsed, shards, token)
+                elapsed = time.perf_counter() - started
+        except AdmissionRejectedError:
+            tenant.bump(rejected=1)
+            raise
+        tenant.bump(completed=1)
+        return self._register_stream(tenant_name, parsed, result.answer,
+                                     page_size, elapsed)
+
+    async def _run_on_pool(self, tenant: Tenant, parsed: ConjunctiveQuery,
+                           shards: int | None, token: CancellationToken):
+        """Run the blocking engine call on the worker pool, mapping engine
+        exceptions to the service error taxonomy."""
+        loop = asyncio.get_running_loop()
+        self._track(token, +1)
+        try:
+            return await loop.run_in_executor(
+                self._executor,
+                lambda: tenant.engine.execute(parsed, shards=shards,
+                                              cancellation=token))
+        except QueryCancelledError as exc:
+            tenant.bump(cancelled=1)
+            if token.deadline_exceeded:
+                raise DeadlineExceededError(str(exc)) from exc
+            raise QueryAbortedError(str(exc)) from exc
+        except Exception as exc:
+            tenant.bump(failed=1)
+            raise QueryExecutionError(
+                f"query execution failed: {exc}", cause=exc) from exc
+        finally:
+            self._track(token, -1)
+
+    def _parse(self, query: ConjunctiveQuery | str) -> ConjunctiveQuery:
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        try:
+            return parse_query(query)
+        except QueryParseError as exc:
+            raise InvalidQueryError(str(exc)) from exc
+
+    def _track(self, token: CancellationToken, delta: int) -> None:
+        self._active += delta
+        if delta > 0:
+            self._active_tokens.add(token)
+            self._idle.clear()
+        else:
+            self._active_tokens.discard(token)
+            if self._active == 0:
+                self._idle.set()
+
+    def _register_stream(self, tenant_name: str, parsed: ConjunctiveQuery,
+                         answer: Relation, page_size: int | None,
+                         elapsed: float) -> QueryResult:
+        size = (self.config.default_page_size
+                if page_size is None else page_size)
+        stream_id = f"{tenant_name}-{next(self._stream_ids)}"
+        stream = ResultStream(stream_id, tenant_name, answer, size)
+        self._streams[stream_id] = stream
+        while len(self._streams) > self.config.max_open_streams:
+            self._streams.popitem(last=False)
+        return QueryResult(tenant=tenant_name, stream_id=stream_id,
+                           columns=stream.columns, row_count=stream.total,
+                           elapsed=elapsed, page=stream.fetch(0),
+                           answer=answer)
+
+    def fetch_page(self, tenant_name: str, stream_id: str, *,
+                   offset: int = 0, page_size: int | None = None) -> ResultPage:
+        """A later page of an earlier answer (streams are tenant-scoped)."""
+        stream = self._streams.get(stream_id)
+        if stream is None or stream.tenant != tenant_name:
+            raise UnknownStreamError(
+                f"no open stream {stream_id!r} for tenant {tenant_name!r}")
+        return stream.fetch(offset, page_size)
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """The ``/stats`` document: service, admission, tenants, totals.
+
+        ``totals`` re-aggregates the per-tenant
+        :class:`~repro.engine.core.EngineStats` snapshots; the process-global
+        LP and kernel counters ride along so one document answers "how much
+        reuse did every cache layer see".
+        """
+        tenants = self.registry.snapshot()
+        totals: dict[str, float] = {}
+        for doc in tenants.values():
+            for key, value in doc["engine"].items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+            for key, value in doc["outcomes"].items():
+                totals[key] = totals.get(key, 0) + value
+        return {
+            "service": {
+                "config": self.config.as_dict(),
+                "uptime_seconds": time.time() - self.started_at,
+                "closing": self._closing,
+                "tenants": len(self.registry),
+                "open_streams": len(self._streams),
+                "active_queries": self._active,
+            },
+            "admission": self.admission.stats(),
+            "tenants": tenants,
+            "totals": totals,
+            "lp_cache": lp_cache_stats(),
+            "kernels": kernel_stats(),
+        }
+
+    # -------------------------------------------------------------- shutdown
+    async def shutdown(self, drain: bool = True,
+                       grace: float | None = None) -> None:
+        """Stop serving: refuse new queries, settle in-flight ones, tear down.
+
+        ``drain=True`` waits for in-flight queries; with a ``grace`` bound,
+        queries still running when it elapses are cooperatively cancelled
+        (their clients see ``query-aborted``).  ``drain=False`` cancels
+        immediately.  Idempotent.
+        """
+        self._closing = True
+        if not drain:
+            self._cancel_active("service shutdown without drain")
+        elif grace is not None:
+            try:
+                await asyncio.wait_for(self._wait_idle(), grace)
+            except asyncio.TimeoutError:
+                self._cancel_active(f"shutdown grace of {grace}s expired")
+        await self._wait_idle()
+        self._executor.shutdown(wait=True)
+
+    def _cancel_active(self, reason: str) -> None:
+        for token in list(self._active_tokens):
+            token.cancel(reason)
+
+    async def _wait_idle(self) -> None:
+        await self._idle.wait()
+
+    # ------------------------------------------------------------- dispatch
+    async def handle(self, request: dict) -> dict:
+        """Structured dispatch: one request document in, one response out.
+
+        This is the seam the HTTP front and the fault-injection tests share:
+        every outcome — including engine crashes — comes back as
+        ``{"ok": bool, ...}``; no exception escapes.
+        """
+        try:
+            return {"ok": True, "result": await self._dispatch(request)}
+        except ServiceError as exc:
+            return {"ok": False, "error": exc.to_dict()}
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            return {"ok": False,
+                    "error": {"code": "internal", "message": str(exc)}}
+
+    async def _dispatch(self, request: dict) -> dict:
+        if not isinstance(request, dict) or "op" not in request:
+            raise BadRequestError("a request document needs an 'op' field")
+        op = request["op"]
+        if op == "healthz":
+            return {"status": "shutting-down" if self._closing else "ok"}
+        if op == "stats":
+            return self.stats()
+        if op == "tenants":
+            return {"tenants": self.registry.names()}
+        if op == "create_tenant":
+            self._require(request, "name", "relations")
+            database = database_from_payload(request)
+            engine_opts = request.get("engine", {})
+            allowed = {"shards", "executor", "plan_cache_size",
+                       "max_variables", "measure_degrees"}
+            unknown = set(engine_opts) - allowed
+            if unknown:
+                raise BadRequestError(
+                    f"unknown engine options: {sorted(unknown)}")
+            tenant = self.create_tenant(request["name"], database,
+                                        **engine_opts)
+            return {"tenant": tenant.name,
+                    "relations": database.summary()}
+        if op == "drop_tenant":
+            self._require(request, "name")
+            self.drop_tenant(request["name"])
+            return {"tenant": request["name"], "dropped": True}
+        if op == "query":
+            self._require(request, "tenant", "query")
+            result = await self.query(
+                request["tenant"], request["query"],
+                timeout=request.get("timeout"),
+                shards=request.get("shards"),
+                page_size=request.get("page_size"))
+            return result.to_dict()
+        if op == "page":
+            self._require(request, "tenant", "stream_id")
+            page = self.fetch_page(request["tenant"], request["stream_id"],
+                                   offset=int(request.get("offset", 0)),
+                                   page_size=request.get("page_size"))
+            return page.to_dict()
+        raise BadRequestError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _require(request: dict, *fields: str) -> None:
+        missing = [name for name in fields if name not in request]
+        if missing:
+            raise BadRequestError(f"missing request fields: {missing}")
+
+
+def database_from_payload(request: dict) -> Database:
+    """Build a :class:`Database` from a JSON tenant-creation document.
+
+    ``relations`` maps name → ``{"columns": [...], "rows": [[...], ...]}``;
+    JSON arrays become the hashable row tuples relations require.
+    """
+    relations = request.get("relations")
+    if not isinstance(relations, dict):
+        raise BadRequestError("'relations' must map names to column/row docs")
+    backend = request.get("backend")
+    database = Database(backend=backend)
+    for name, doc in relations.items():
+        try:
+            columns = tuple(doc["columns"])
+            rows = [tuple(row) for row in doc["rows"]]
+        except (TypeError, KeyError) as exc:
+            raise BadRequestError(
+                f"relation {name!r} needs 'columns' and 'rows'") from exc
+        database.add(Relation(name, columns, rows, backend=backend), name=name)
+    return database

@@ -1,0 +1,99 @@
+"""Streamed result sets: paginate an answer without materialising row tuples.
+
+Columnar answers keep their rows encoded (per-column ``int64`` codes plus
+decode tables); ``iter(relation)`` decodes rows lazily.  A
+:class:`ResultStream` drives that iterator exactly as far as the highest page
+requested, so a client that reads two pages of a million-row answer pays for
+two pages of tuple materialisation — the rest stays encoded in the backend.
+
+Pages are addressed by row offset (``cursor``), and consumed rows are
+retained in order, so re-fetching an earlier page is cheap and the row order
+a client observes is stable for the stream's lifetime (iteration order of a
+relation is deterministic per backend, but *not* across backends — a stream
+pins one iteration).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+
+
+@dataclass
+class ResultPage:
+    """One page of a streamed answer, plus the cursor to ask for next."""
+
+    stream_id: str
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    #: Offset of the first row of this page.
+    offset: int
+    #: Offset to request for the following page (== offset + len(rows)).
+    cursor: int
+    #: True when this page reaches the end of the answer.
+    done: bool
+    #: Total row count — exact (relations know their cardinality).
+    total: int
+
+    def to_dict(self) -> dict:
+        return {"stream_id": self.stream_id, "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows],
+                "offset": self.offset, "cursor": self.cursor,
+                "done": self.done, "total": self.total}
+
+
+class ResultStream:
+    """A lazy, repeatable pagination over one answer relation."""
+
+    def __init__(self, stream_id: str, tenant: str, answer: Relation,
+                 page_size: int) -> None:
+        if page_size < 1:
+            raise ValueError("a page must hold at least one row")
+        self.stream_id = stream_id
+        self.tenant = tenant
+        self.columns = answer.columns
+        self.page_size = page_size
+        self.total = len(answer)
+        self._iterator = iter(answer)
+        self._consumed: list[tuple] = []
+        self._lock = threading.Lock()
+
+    def _ensure(self, count: int) -> None:
+        """Advance the underlying iterator until ``count`` rows are buffered
+        (or the answer is exhausted).  Caller holds the lock."""
+        while len(self._consumed) < count:
+            try:
+                self._consumed.append(next(self._iterator))
+            except StopIteration:
+                break
+
+    @property
+    def consumed(self) -> int:
+        """How many rows have been materialised so far (laziness witness)."""
+        return len(self._consumed)
+
+    def fetch(self, offset: int = 0, page_size: int | None = None) -> ResultPage:
+        """The page of up to ``page_size`` rows starting at ``offset``."""
+        if offset < 0:
+            raise ValueError("a page offset cannot be negative")
+        size = self.page_size if page_size is None else page_size
+        with self._lock:
+            self._ensure(offset + size)
+            rows = self._consumed[offset:offset + size]
+            cursor = offset + len(rows)
+            done = cursor >= self.total
+        return ResultPage(stream_id=self.stream_id, columns=self.columns,
+                          rows=rows, offset=offset, cursor=cursor,
+                          done=done, total=self.total)
+
+    def pages(self):
+        """Iterate every page in order (test/demo convenience)."""
+        offset = 0
+        while True:
+            page = self.fetch(offset)
+            yield page
+            if page.done:
+                return
+            offset = page.cursor

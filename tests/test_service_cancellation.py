@@ -1,0 +1,180 @@
+"""Timeout and cooperative-cancellation regressions.
+
+The property under test: a cancelled query stops *mid-plan* with bounded
+overshoot — it does not run the join to completion and then notice.  The
+bound is checked from :class:`~repro.relational.operators.WorkCounter`
+tallies (the generic join checks its token every ``CHECK_INTERVAL`` explored
+partial assignments, so work past the trip point is at most one interval per
+DFS level), and end-to-end through the engine, the sharded process executor
+and the asyncio service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.algorithms import evaluate_faq, generic_join
+from repro.algorithms.generic_join import CHECK_INTERVAL
+from repro.datagen import hard_four_cycle_instance, random_graph_database
+from repro.engine import Engine
+from repro.query import four_cycle_full, four_cycle_projected, triangle_query
+from repro.relational import MIN_PLUS_SEMIRING, WorkCounter
+from repro.relational.kernels import using_kernels
+from repro.service import (
+    DeadlineExceededError,
+    QueryService,
+    ServiceConfig,
+)
+from repro.utils.cancellation import CancellationToken, QueryCancelledError
+
+
+class TripAfter(CancellationToken):
+    """A token that cancels itself after N ``check()`` consultations."""
+
+    def __init__(self, trips: int) -> None:
+        super().__init__()
+        self.trips = trips
+        self.checks = 0
+
+    def check(self) -> None:
+        self.checks += 1
+        if self.checks > self.trips and not self.cancelled:
+            self.cancel(f"tripped after {self.trips} checks")
+        super().check()
+
+
+def test_token_deadline_and_explicit_cancel():
+    token = CancellationToken.with_timeout(60.0)
+    token.check()  # far-future deadline: no trip
+    assert token.remaining() > 0
+    token.cancel("operator asked")
+    with pytest.raises(QueryCancelledError, match="operator asked"):
+        token.check()
+    assert token.cancelled and not token.deadline_exceeded
+
+    expired = CancellationToken.with_timeout(0.0)
+    with pytest.raises(QueryCancelledError):
+        expired.check()
+    assert expired.deadline_exceeded
+
+
+def test_generic_join_overshoot_is_bounded_by_check_interval():
+    """Work tallied past the trip point ≤ one CHECK_INTERVAL per DFS level."""
+    query = four_cycle_full()
+    database = hard_four_cycle_instance(400)  # Ω(N²) full join: 40k answers
+    trips = 4
+    token = TripAfter(trips)
+    counter = WorkCounter(cancellation=token)
+    with using_kernels(False):  # pin the DFS path, whose bound we assert
+        with pytest.raises(QueryCancelledError):
+            generic_join(query, database, counter=counter)
+    # The join checks once per CHECK_INTERVAL explored assignments (plus one
+    # entry check), so exploration stops within trips * CHECK_INTERVAL work;
+    # the full join would have been ~40000.
+    assert counter.intermediate_tuples <= trips * CHECK_INTERVAL
+    assert counter.intermediate_tuples < 40_000 // 4
+    assert any("cancelled after exploring" in note for note in counter.notes)
+
+
+def test_kernel_path_cancels_per_level():
+    """The vectorized kernel consults the token between levels too."""
+    query = four_cycle_full()
+    database = hard_four_cycle_instance(400, backend="columnar")
+    token = TripAfter(2)
+    counter = WorkCounter(cancellation=token)
+    with using_kernels(True):
+        with pytest.raises(QueryCancelledError):
+            generic_join(query, database, counter=counter)
+    assert token.checks >= 2
+
+
+def test_engine_deadline_cancels_within_bound():
+    """A wall-clock deadline on a huge intermediate join trips mid-plan."""
+    database = hard_four_cycle_instance(1200)
+    engine = Engine(database)
+    query = four_cycle_projected()
+    prepared = engine.prepare(query)  # plan outside the timed window
+    with using_kernels(False):
+        # Measure roughly how long the uncancelled run takes…
+        t0 = time.perf_counter()
+        prepared.execute()
+        full_run = time.perf_counter() - t0
+        deadline = min(0.2, full_run / 4)
+        t0 = time.perf_counter()
+        with pytest.raises(QueryCancelledError):
+            prepared.execute(
+                cancellation=CancellationToken.with_timeout(deadline))
+        elapsed = time.perf_counter() - t0
+    # The overshoot past the deadline is bounded: far below finishing the
+    # run, and within a generous absolute envelope for slow CI boxes.
+    assert elapsed < max(full_run * 0.75, deadline + 1.0)
+    assert engine.stats.cancelled_executions == 1
+    assert engine.stats.executions == 1  # only the uncancelled run counted
+
+
+def test_engine_counts_already_cancelled_execution():
+    engine = Engine(random_graph_database(triangle_query(), size=30,
+                                          domain=10, seed=1))
+    token = CancellationToken()
+    token.cancel("gave up before starting")
+    with pytest.raises(QueryCancelledError):
+        engine.execute(triangle_query(), cancellation=token)
+    assert engine.stats.cancelled_executions == 1
+    assert engine.stats.executions == 0
+
+
+@pytest.mark.parametrize("executor", ["thread", "serial", "process"])
+def test_sharded_execution_cancels_across_executors(executor):
+    """Cancellation reaches shard workers: shared token for threads, a
+    wall-clock deadline shipped in the payload for processes."""
+    database = hard_four_cycle_instance(1200)
+    engine = Engine(database, shards=2, executor=executor)
+    query = four_cycle_projected()
+    prepared = engine.prepare(query)
+    with using_kernels(False):
+        with pytest.raises(QueryCancelledError):
+            prepared.execute(
+                cancellation=CancellationToken.with_timeout(0.15))
+    assert engine.stats.cancelled_executions == 1
+
+
+def test_faq_evaluation_cancels():
+    query = four_cycle_projected()
+    database = hard_four_cycle_instance(200)
+    token = TripAfter(1)
+    with pytest.raises(QueryCancelledError):
+        evaluate_faq(query, database, MIN_PLUS_SEMIRING,
+                     counter=WorkCounter(cancellation=token))
+
+
+def test_service_deadline_maps_to_typed_error_and_counters():
+    database = hard_four_cycle_instance(1200)
+
+    async def main():
+        service = QueryService(ServiceConfig(max_concurrent=2))
+        service.create_tenant("acme", database)
+        # Warm the plan cache so the deadline bites execution, not planning.
+        await service.query("acme", four_cycle_projected())
+        with using_kernels(False):
+            with pytest.raises(DeadlineExceededError):
+                await service.query("acme", four_cycle_projected(),
+                                    timeout=0.05)
+            response = await service.handle(
+                {"op": "query", "tenant": "acme",
+                 "query": four_cycle_projected(), "timeout": 0.05})
+        await service.shutdown()
+        return service, response
+
+    service, response = asyncio.run(main())
+    assert response["ok"] is False
+    assert response["error"]["code"] == "deadline-exceeded"
+    tenant = service.registry.get("acme")
+    assert tenant.cancelled == 2 and tenant.completed == 1
+    assert tenant.engine.stats.cancelled_executions == 2
+    # The tenant stays healthy: plan cache intact, counters reconciled.
+    snapshot = tenant.snapshot()
+    assert snapshot["caches"]["plan_builds"] == 1
+    assert snapshot["engine"]["executions"] == 1

@@ -1,0 +1,264 @@
+"""Fault injection: failing storage backends and dying shard workers.
+
+The service contract under test: an engine blowing up mid-query surfaces as
+one structured ``execution-failed`` document — never a hang, never a raw
+traceback across the API — and the tenant stays fully serviceable
+afterwards (plan cache intact, counters reconciled, next query succeeds).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.datagen import random_graph_database
+from repro.query import four_cycle_projected, triangle_query
+from repro.relational.storage import StorageBackend
+from repro.service import (
+    QueryExecutionError,
+    QueryService,
+    ServiceConfig,
+)
+
+
+class FlakyBackend(StorageBackend):
+    """A delegating backend that raises on the k-th index build.
+
+    ``share()`` returns the wrapper itself (mirroring the base-class
+    contract), so the failure follows the relation through every renamed
+    facade the evaluator creates.  ``supports_kernels`` stays ``False``: the
+    point is to fail inside the tuple-at-a-time index machinery.
+    """
+
+    supports_kernels = False
+
+    def __init__(self, inner: StorageBackend, fail_on: tuple[str, ...],
+                 after: int = 1) -> None:
+        super().__init__()
+        self._inner = inner
+        self._fail_on = fail_on
+        self._after = after
+        self.index_calls = 0
+
+    @property
+    def kind(self) -> str:
+        # Derived relations inherit the wrapped engine's kind, so answers
+        # built from a flaky relation resolve to a real backend.
+        return self._inner.kind
+
+    def _maybe_fail(self, method: str) -> None:
+        if method in self._fail_on:
+            self.index_calls += 1
+            if self.index_calls >= self._after:
+                raise RuntimeError(
+                    f"injected fault: {method} build #{self.index_calls}")
+
+    def share(self) -> "FlakyBackend":
+        self.shared = True
+        self._inner.share()
+        return self
+
+    def heal(self) -> None:
+        """Stop injecting faults (the 'operator replaced the disk' event)."""
+        self._fail_on = ()
+
+    # -- delegation ---------------------------------------------------------
+    def __len__(self):
+        return len(self._inner)
+
+    def iter_rows(self):
+        return self._inner.iter_rows()
+
+    def row_set(self):
+        return self._inner.row_set()
+
+    def contains(self, row):
+        return self._inner.contains(row)
+
+    def add(self, row):
+        self._inner.add(row)
+
+    def fork(self):
+        return FlakyBackend(self._inner.fork(), self._fail_on, self._after)
+
+    def spawn(self, rows, assume_unique=False):
+        return self._inner.spawn(rows, assume_unique=assume_unique)
+
+    def has_cached_index(self, key_positions):
+        return self._inner.has_cached_index(key_positions)
+
+    def hash_index(self, key_positions):
+        self._maybe_fail("hash_index")
+        return self._inner.hash_index(key_positions)
+
+    def key_set(self, key_positions):
+        self._maybe_fail("key_set")
+        return self._inner.key_set(key_positions)
+
+    def degree_index(self, given_positions, value_position):
+        return self._inner.degree_index(given_positions, value_position)
+
+    def group_index(self, given_positions, value_positions):
+        self._maybe_fail("group_index")
+        return self._inner.group_index(given_positions, value_positions)
+
+    def trie(self, positions):
+        self._maybe_fail("trie")
+        return self._inner.trie(positions)
+
+    def project_backend(self, positions):
+        return self._inner.project_backend(positions)
+
+
+ALL_INDEX_METHODS = ("hash_index", "key_set", "group_index", "trie")
+
+
+def _flaky_database(query, after: int = 1):
+    """A random database whose first relation fails its ``after``-th index build."""
+    database = random_graph_database(query, size=50, domain=12, seed=11)
+    name = database.relation_names()[0]
+    flaky = FlakyBackend(database[name]._backend, ALL_INDEX_METHODS, after)
+    database[name]._backend = flaky
+    return database, flaky
+
+
+def test_flaky_index_build_returns_structured_error_then_recovers():
+    query = triangle_query()
+    database, flaky = _flaky_database(query, after=1)
+
+    async def main():
+        service = QueryService(ServiceConfig(max_concurrent=2))
+        service.create_tenant("acme", database)
+        failed = await service.handle(
+            {"op": "query", "tenant": "acme", "query": query})
+        flaky.heal()
+        healed = await service.handle(
+            {"op": "query", "tenant": "acme", "query": query})
+        await service.shutdown()
+        return service, failed, healed
+
+    service, failed, healed = asyncio.run(main())
+    assert failed["ok"] is False
+    assert failed["error"]["code"] == "execution-failed"
+    assert failed["error"]["details"]["cause"] == "RuntimeError"
+    assert "injected fault" in failed["error"]["message"]
+    assert flaky.index_calls >= 1
+    # Recovery: same tenant, same plan, now it serves.
+    assert healed["ok"] is True
+    assert healed["result"]["row_count"] > 0
+    tenant = service.registry.get("acme")
+    assert tenant.failed == 1 and tenant.completed == 1
+    # The failure did not poison the plan cache: one build, then a hit.
+    cache = tenant.engine.plan_cache.cache_stats()
+    assert cache["plan_builds"] == 1 and cache["plan_hits"] == 1
+    stats = tenant.engine.stats.as_dict()
+    assert stats["executions"] == 1  # only the healed run completed
+
+
+def test_kth_index_build_fails_midway():
+    """``after=2``: the engine survives the first index build, then trips —
+    the error path exercises partially-built evaluation state."""
+    query = four_cycle_projected()  # builds two indexes on the flaky relation
+    database, flaky = _flaky_database(query, after=2)
+
+    async def main():
+        service = QueryService(ServiceConfig())
+        service.create_tenant("acme", database)
+        response = await service.handle(
+            {"op": "query", "tenant": "acme", "query": query})
+        await service.shutdown()
+        return response
+
+    response = asyncio.run(main())
+    assert response["ok"] is False
+    assert response["error"]["code"] == "execution-failed"
+    assert "#2" in response["error"]["message"]
+    assert flaky.index_calls == 2
+
+
+def test_direct_query_raises_typed_error():
+    """In-process callers get the typed exception, with the cause attached."""
+    query = triangle_query()
+    database, _ = _flaky_database(query, after=1)
+
+    async def main():
+        service = QueryService(ServiceConfig())
+        service.create_tenant("acme", database)
+        with pytest.raises(QueryExecutionError) as excinfo:
+            await service.query("acme", query)
+        await service.shutdown()
+        return excinfo.value
+
+    error = asyncio.run(main())
+    assert isinstance(error.cause, RuntimeError)
+    assert error.to_dict()["code"] == "execution-failed"
+
+
+def _die_in_worker(payload):
+    """Module-level (hence picklable) stand-in for ``_execute_shard`` that
+    kills the worker process outright — the hard-crash fault."""
+    os._exit(13)
+
+
+def test_worker_death_surfaces_as_structured_error(monkeypatch):
+    """A shard worker dying mid-query (``os._exit``) must not hang the
+    service: the broken pool surfaces as ``execution-failed`` and the next
+    query (on a fresh pool) succeeds."""
+    import repro.engine.parallel as parallel
+
+    query = triangle_query()
+    database = random_graph_database(query, size=60, domain=12, seed=23)
+
+    async def main():
+        service = QueryService(ServiceConfig(max_concurrent=2))
+        service.create_tenant("acme", database, shards=2, executor="process")
+
+        monkeypatch.setattr(parallel, "_execute_shard", _die_in_worker)
+        failed = await service.handle(
+            {"op": "query", "tenant": "acme", "query": query})
+        monkeypatch.undo()
+        healed = await service.handle(
+            {"op": "query", "tenant": "acme", "query": query})
+        await service.shutdown()
+        return service, failed, healed
+
+    service, failed, healed = asyncio.run(main())
+    assert failed["ok"] is False
+    assert failed["error"]["code"] == "execution-failed"
+    assert "BrokenProcessPool" in failed["error"]["details"]["cause"]
+    assert healed["ok"] is True
+    tenant = service.registry.get("acme")
+    assert tenant.failed == 1 and tenant.completed == 1
+    assert tenant.engine.stats.as_dict()["executions"] == 1
+
+
+def test_fault_during_concurrent_load_leaves_other_tenants_unharmed():
+    """One tenant's backend fault must not disturb a healthy neighbour
+    running at the same time."""
+    query = triangle_query()
+    sick_db, _ = _flaky_database(query, after=1)
+    healthy_db = random_graph_database(query, size=50, domain=12, seed=31)
+
+    async def main():
+        service = QueryService(ServiceConfig(max_concurrent=4))
+        service.create_tenant("sick", sick_db)
+        service.create_tenant("healthy", healthy_db)
+        responses = await asyncio.gather(*(
+            service.handle({"op": "query",
+                            "tenant": "sick" if i % 2 else "healthy",
+                            "query": query})
+            for i in range(8)))
+        await service.shutdown()
+        return service, responses
+
+    service, responses = asyncio.run(main())
+    healthy = [r for i, r in enumerate(responses) if i % 2 == 0]
+    sick = [r for i, r in enumerate(responses) if i % 2]
+    assert all(r["ok"] for r in healthy)
+    rows = {tuple(map(tuple, r["result"]["page"]["rows"])) for r in healthy}
+    assert all(not r["ok"] and r["error"]["code"] == "execution-failed"
+               for r in sick)
+    healthy_tenant = service.registry.get("healthy")
+    assert healthy_tenant.completed == 4 and healthy_tenant.failed == 0
