@@ -1,0 +1,71 @@
+"""``python -m repro.analysis``: the CI gate in one command.
+
+Usage::
+
+    python -m repro.analysis src/                 # human-readable findings
+    python -m repro.analysis src/ --format=json   # machine-readable report
+    python -m repro.analysis --list-rules         # the rule inventory
+    python -m repro.analysis src/ --rule REP101   # one rule only
+
+Exit codes: ``0`` — zero unsuppressed findings (the gate passes); ``1`` —
+at least one unsuppressed finding; ``2`` — usage error.  Suppressed findings
+are always *reported* (with their justifications) but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.linter import lint_paths, registered_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant linter and plan-artifact verifier for "
+                    "the repro codebase.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="RULE_ID",
+                        help="run only this rule (repeatable); unused-"
+                             "suppression hygiene is skipped under a subset")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = registered_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id} {rule.name}")
+            print(f"    invariant: {rule.summary}")
+            print(f"    history:   {rule.history}")
+        return 0
+    if args.rule:
+        by_id = {rule.id: rule for rule in rules}
+        unknown = [rule_id for rule_id in args.rule if rule_id not in by_id]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}; "
+                         f"known: {', '.join(sorted(by_id))}")
+        selected = tuple(by_id[rule_id] for rule_id in args.rule)
+    else:
+        selected = None
+    paths = args.paths or ["src/"]
+    report = lint_paths(paths, rules=selected)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Findings: the one record every analysis pass emits.
+
+Both halves of :mod:`repro.analysis` — the AST invariant linter and the
+static plan verifier — report problems as :class:`Finding` objects carrying a
+rule identifier, a ``file:line`` anchor, a human message and a concrete fix
+hint.  One record type means one JSON schema, one text renderer and one CI
+gate (``python -m repro.analysis src/ --format=json`` exits non-zero iff any
+*unsuppressed* finding survives).
+
+A finding can be *suppressed* by a justified inline comment (see
+:mod:`repro.analysis.linter`); suppressed findings are still reported — with
+their justification — so the suppression inventory stays auditable, but they
+do not fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class Finding:
+    """One analysis result anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    #: A concrete, actionable repair suggestion ("route the increment through
+    #: ``EngineStats.bump``", "add the missing bag for atom R(x, y)", ...).
+    hint: str = ""
+    #: True when a justified inline suppression covers this finding.
+    suppressed: bool = False
+    #: The justification text of the covering suppression, if any.
+    justification: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+    def render(self) -> str:
+        tail = f" [suppressed: {self.justification}]" if self.suppressed else ""
+        hint = f"\n    hint: {self.hint}" if self.hint else ""
+        return f"{self.location}: {self.rule}: {self.message}{tail}{hint}"
+
+
+@dataclass
+class Report:
+    """All findings of one run, with the gate decision precomputed."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        """True when the run passes the CI gate (zero unsuppressed findings)."""
+        return not self.unsuppressed
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sort(self) -> None:
+        self.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+
+    def as_dict(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for finding in self.unsuppressed:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "summary": {
+                "findings": len(self.unsuppressed),
+                "suppressed": len(self.suppressed),
+                "clean": self.clean,
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        if not self.findings:
+            return "no findings"
+        lines = [finding.render() for finding in self.findings]
+        lines.append(f"{len(self.unsuppressed)} finding(s), "
+                     f"{len(self.suppressed)} suppressed")
+        return "\n".join(lines)

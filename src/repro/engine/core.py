@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.analysis.plan_verifier import assert_valid, verify_recipe
 from repro.engine.fingerprint import (
     plan_fingerprint,
     query_fingerprint,
@@ -73,6 +74,11 @@ class EngineStats:
 
     plans_built: int = 0
     plans_reused: int = 0
+    #: Recipes statically verified (running intersection, coverage,
+    #: free-variable safety) before entering the plan cache; every built
+    #: plan passes through the verifier, so this tracks ``plans_built``
+    #: unless verification ever rejects a decision.
+    plans_verified: int = 0
     statistics_measured: int = 0
     statistics_reused: int = 0
     executions: int = 0
@@ -114,6 +120,7 @@ class EngineStats:
             return {
                 "plans_built": self.plans_built,
                 "plans_reused": self.plans_reused,
+                "plans_verified": self.plans_verified,
                 "statistics_measured": self.statistics_measured,
                 "statistics_reused": self.statistics_reused,
                 "executions": self.executions,
@@ -133,7 +140,8 @@ class EngineStats:
                  f"({self.parallel_executions} parallel, {self.shards_run} shards, "
                  f"{self.cancelled_executions} cancelled) "
                  f"in {self.wall_time_seconds:.4f}s",
-                 f"  plans: {self.plans_built} built, {self.plans_reused} reused; "
+                 f"  plans: {self.plans_built} built, {self.plans_reused} reused, "
+                 f"{self.plans_verified} verified; "
                  f"statistics: {self.statistics_measured} measured, "
                  f"{self.statistics_reused} reused; "
                  f"{self.invalidations} invalidations"]
@@ -343,8 +351,16 @@ class Engine:
                              estimate=estimate)
         chosen.fingerprint = plan_fingerprint(query_digest, statistics_digest)
         self.stats.absorb_events("lp_cache_events", lp_cache_delta(before_lp))
-        self.plan_cache.put(key, self._recipe_from_plan(chosen, renaming))
-        self.stats.bump(plans_built=1)
+        fresh_recipe = self._recipe_from_plan(chosen, renaming)
+        # Statically verify the decision before it becomes a cache entry:
+        # a malformed recipe cached here would be rebuilt with
+        # ``validate=False`` on every later hit and shipped to shard
+        # workers as bare bags, returning wrong answers silently.
+        assert_valid(f"plan recipe {fresh_recipe.fingerprint}",
+                     verify_recipe(fresh_recipe, query=query,
+                                   renaming=renaming))
+        self.plan_cache.put(key, fresh_recipe)
+        self.stats.bump(plans_built=1, plans_verified=1)
         return chosen
 
     def _recipe_from_plan(self, chosen: QueryPlan,

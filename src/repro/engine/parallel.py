@@ -30,6 +30,11 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
+from repro.analysis.plan_verifier import (
+    assert_valid,
+    verify_dispatch,
+    verify_shard_payload,
+)
 from repro.query.cq import Atom, ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
@@ -209,6 +214,10 @@ def run_partitioned(plan, database: Database, shards: int,
     atom = choose_partition_atom(plan.query, database)
     if atom is None:
         return None
+    # Statically verify the plan once before its first dispatch (memoized on
+    # the plan object): shard workers rebuild it from bare bags with
+    # ``validate=False`` and would execute a corrupted structure silently.
+    verify_dispatch(plan)
     if cancellation is not None:
         cancellation.check()
 
@@ -226,6 +235,10 @@ def run_partitioned(plan, database: Database, shards: int,
     elif executor == "process":
         payloads = [_shard_payload(plan, shard_db, cancellation)
                     for shard_db in shard_dbs]
+        # Payloads cross the process boundary: reject unpicklable callables
+        # here, by name, instead of dying inside the pool as an opaque
+        # BrokenProcessPool (one payload suffices — they share structure).
+        assert_valid("process shard payload", verify_shard_payload(payloads[0]))
         with ProcessPoolExecutor(max_workers=shards,
                                  mp_context=_process_context()) as pool:
             shard_results = list(pool.map(_execute_shard, payloads))

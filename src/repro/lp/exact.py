@@ -56,6 +56,7 @@ def _run_simplex(tableau: list[list[Fraction]], basis: list[int],
     for _ in range(max_iterations):
         entering = None
         for col in range(num_columns):
+            # repro-analysis: allow[REP106] -- exact rational simplex: the tableau holds Fractions, so comparisons are exact and need no epsilon
             if tableau[objective_row][col] < 0:
                 entering = col
                 break

@@ -246,5 +246,5 @@ def _run_adaptive(query: ConjunctiveQuery, database: Database,
                                        decompositions=decompositions,
                                        max_variables=max_variables,
                                        counter=counter)
-    counter.max_intermediate = max(counter.max_intermediate, report.max_intermediate)
+    counter.observe_max(report.max_intermediate)
     return ExecutionResult(answer=answer, counter=counter, details=report)

@@ -719,6 +719,17 @@ def _build_semiring_specs():
 _SEMIRING_SPECS = _build_semiring_specs() if np is not None else {}
 
 
+def kernel_supported_semirings() -> frozenset[str]:
+    """Names of semirings with a registered vectorized ⊕/⊗ reduction.
+
+    The static plan verifier (:mod:`repro.analysis.plan_verifier`) checks
+    this capability table against each semiring's value shape: only
+    scalar-valued semirings may appear here — tuple-valued ones (top-k
+    min-plus) must take the reference fallback path.
+    """
+    return frozenset(_SEMIRING_SPECS)
+
+
 def _scalar(kind: str, value):
     """Convert one aggregated numpy scalar back to the reference Python type."""
     if kind == "int":

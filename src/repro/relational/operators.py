@@ -71,6 +71,18 @@ class WorkCounter:
             if note:
                 self.notes.append(note)
 
+    def observe_max(self, largest: int) -> None:
+        """Raise ``max_intermediate`` to at least ``largest``, atomically.
+
+        The adaptive runner folds a report's peak intermediate back into a
+        counter that parallel shard workers may be moving concurrently; a
+        bare ``counter.max_intermediate = max(...)`` here is the same
+        read-modify-write race :meth:`tally` exists to prevent (lint rule
+        REP101), so the fold gets its own locked method.
+        """
+        with self._lock:
+            self.max_intermediate = max(self.max_intermediate, largest)
+
     def merge(self, other: "WorkCounter") -> None:
         # Snapshot under the source lock, apply under ours: never nested, so
         # two threads merging in opposite directions cannot deadlock.
