@@ -37,6 +37,7 @@ from repro.analysis.plan_verifier import (
     WIDTH_SLACK,
     assert_valid,
     verify_bags,
+    verify_cluster_task,
     verify_dispatch,
     verify_plan,
     verify_proof_sequence,
@@ -58,6 +59,7 @@ __all__ = [
     "WIDTH_SLACK",
     "assert_valid",
     "verify_bags",
+    "verify_cluster_task",
     "verify_dispatch",
     "verify_plan",
     "verify_proof_sequence",

@@ -346,6 +346,46 @@ def verify_shard_payload(payload: Mapping | Sequence,
     return problems
 
 
+def verify_cluster_task(task: Mapping) -> list[str]:
+    """Statically verify a cluster dispatch task before it reaches a worker.
+
+    A task is the cluster coordinator's unit of work: identity fields
+    (``task_id``/``shard``/``attempt``), the process-executor shard payload,
+    and optionally a chaos-harness ``fault`` directive.  Everything crosses a
+    process boundary, so the payload must pass the pickle-safety walk of
+    :func:`verify_shard_payload` and the fault directive must be a plain dict
+    naming a known fault kind — a malformed directive would otherwise fail
+    *inside* the worker as a generic task error and be retried pointlessly.
+    """
+    problems: list[str] = []
+    if not isinstance(task.get("task_id"), str) or not task.get("task_id"):
+        problems.append("cluster task needs a non-empty string 'task_id'")
+    if not isinstance(task.get("shard"), int):
+        problems.append("cluster task needs an integer 'shard' index")
+    attempt = task.get("attempt")
+    if not isinstance(attempt, int) or attempt < 1:
+        problems.append("cluster task needs a 1-based integer 'attempt'")
+    payload = task.get("payload")
+    if not isinstance(payload, Mapping):
+        problems.append("cluster task needs a mapping 'payload' "
+                        "(the process-executor shard payload)")
+    else:
+        problems.extend(verify_shard_payload(payload, label="cluster payload"))
+    directive = task.get("fault")
+    if directive is not None:
+        from repro.testing.faults import FAULT_KINDS
+
+        if not isinstance(directive, dict):
+            problems.append(
+                f"cluster task fault directive must be a plain dict, "
+                f"got {type(directive).__name__}")
+        elif directive.get("kind") not in FAULT_KINDS:
+            problems.append(
+                f"cluster task fault directive kind {directive.get('kind')!r} "
+                f"is not one of {FAULT_KINDS}")
+    return problems
+
+
 def verify_dispatch(plan: QueryPlan) -> None:
     """Verify a plan once before partition-parallel dispatch (memoized).
 

@@ -26,6 +26,11 @@ Every rule here is a post-mortem turned executable:
   against an LP objective that undershoots its exact optimum by ~1e-9.
   Comparing an LP objective with ``==``/``>=`` and no epsilon slack is how
   answers silently disappear.
+* **REP107** — the fault-tolerant dispatch paths (PR 8) are built on the
+  rule that *every* failure is observable: retried, counted or re-raised.
+  A bare ``except Exception:`` in a dispatch/worker path that neither
+  re-raises nor records to a counter/stats object swallows faults the
+  chaos harness (and production operators) can never see.
 """
 
 from __future__ import annotations
@@ -50,6 +55,8 @@ COUNTER_FIELDS = frozenset({
     "statistics_measured", "statistics_reused",
     "executions", "serial_executions", "parallel_executions",
     "cancelled_executions", "shards_run", "invalidations",
+    "tasks_retried", "stragglers_redispatched", "workers_respawned",
+    "degraded_executions",
     "wall_time_seconds",
     # WorkCounter
     "intermediate_tuples", "max_intermediate", "materializations",
@@ -503,5 +510,97 @@ REP106 = register_rule(LintRule(
     check=_check_float_lp_compare,
 ))
 
+# ---------------------------------------------------------------------------
+# REP107: swallowed exceptions in dispatch/worker paths
+# ---------------------------------------------------------------------------
+
+#: Call-name fragments that count as "recording" a failure: routing it into
+#: a counter/stats object (bump/tally/absorb/count), a result/ack channel
+#: (put), or an explicit log/note sink.
+_RECORDING_TOKENS = ("bump", "tally", "record", "put", "note", "count",
+                     "absorb", "log")
+
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or ``except Exception/BaseException`` (incl. tuples)."""
+    if handler.type is None:
+        return True
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        name = (node.id if isinstance(node, ast.Name)
+                else node.attr if isinstance(node, ast.Attribute) else None)
+        if name in _BROAD_EXCEPTION_NAMES:
+            return True
+    return False
+
+
+def _handler_observes_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or records the failure somewhere."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = ModuleContext.dotted_name(node.func)
+            if dotted is not None:
+                last = dotted.split(".")[-1].lower()
+                if any(token in last for token in _RECORDING_TOKENS):
+                    return True
+        if isinstance(node, ast.AugAssign) and \
+                isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            # `self.failures += 1` / `counters["task_failures"] += 1`
+            return True
+    return False
+
+
+def _in_dispatch_scope(context: ModuleContext, node: ast.AST) -> bool:
+    path = context.path.replace("\\", "/")
+    if "engine/" in path:
+        return True
+    function = context.enclosing_function(node)
+    if function is None:
+        return False
+    name = function.name.lower()
+    return "worker" in name or "dispatch" in name
+
+
+def _check_swallowed_dispatch_errors(context: ModuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad_handler(node):
+            continue
+        if not _in_dispatch_scope(context, node):
+            continue
+        if _handler_observes_failure(node):
+            continue
+        shape = "bare `except:`" if node.type is None \
+            else f"`except {ast.unparse(node.type)}:`"
+        findings.append(REP107.finding(
+            context, node,
+            f"{shape} in a dispatch/worker path neither re-raises nor "
+            "records the failure: the fault becomes invisible to retry "
+            "accounting, EngineStats and the chaos harness"))
+    return findings
+
+
+REP107 = register_rule(LintRule(
+    id="REP107",
+    name="swallowed-dispatch-error",
+    summary="broad exception handlers in dispatch/worker paths must "
+            "re-raise or record the failure to a counter/stats/result "
+            "channel",
+    hint="re-raise after cleanup, or route the failure into an observable "
+         "sink (stats.bump(...), run counters, result_queue.put(('err', ...)))"
+         " — or narrow the except to the specific expected type",
+    history="PR 8's fault-tolerant executor: every retry/respawn decision "
+            "reads failure signals, so a swallowed exception disables "
+            "fault tolerance silently",
+    check=_check_swallowed_dispatch_errors,
+))
+
 #: The full repo rule set, in id order (used by docs and tests).
-ALL_RULES = (REP101, REP102, REP103, REP104, REP105, REP106)
+ALL_RULES = (REP101, REP102, REP103, REP104, REP105, REP106, REP107)

@@ -11,10 +11,13 @@ Public surface::
     print(engine.stats.describe())               # plans reused, shards, caches
 
 See :mod:`repro.engine.core` for the serving semantics,
-:mod:`repro.engine.fingerprint` for the renaming-invariant plan-cache keys
-and :mod:`repro.engine.parallel` for the partition-parallel execution model.
+:mod:`repro.engine.fingerprint` for the renaming-invariant plan-cache keys,
+:mod:`repro.engine.parallel` for the partition-parallel execution model and
+:mod:`repro.engine.cluster` for the fault-tolerant coordinator/worker
+executor (retries, straggler re-dispatch, respawn, serial degradation).
 """
 
+from repro.engine.cluster import ClusterConfig, ClusterCoordinator, run_shards
 from repro.engine.core import Engine, EngineStats, PreparedQuery
 from repro.engine.fingerprint import (
     plan_fingerprint,
@@ -22,6 +25,7 @@ from repro.engine.fingerprint import (
     statistics_fingerprint,
 )
 from repro.engine.parallel import (
+    PersistentProcessPool,
     choose_partition_atom,
     merge_shard_results,
     run_partitioned,
@@ -33,6 +37,10 @@ __all__ = [
     "Engine",
     "EngineStats",
     "PreparedQuery",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "PersistentProcessPool",
+    "run_shards",
     "LruDict",
     "PlanCache",
     "PlanRecipe",

@@ -36,7 +36,7 @@ from repro.engine.fingerprint import (
     query_fingerprint,
     statistics_fingerprint,
 )
-from repro.engine.parallel import run_partitioned
+from repro.engine.parallel import PersistentProcessPool, run_partitioned
 from repro.engine.plan_cache import LruDict, PlanCache, PlanRecipe
 from repro.decompositions.treedecomp import TreeDecomposition
 from repro.lp.model import lp_cache_delta, lp_cache_stats
@@ -89,6 +89,19 @@ class EngineStats:
     cancelled_executions: int = 0
     shards_run: int = 0
     invalidations: int = 0
+    #: Shard tasks re-dispatched after a failure (worker error, worker death
+    #: or a dropped ack) by the fault-tolerant cluster executor.
+    tasks_retried: int = 0
+    #: Straggler shards speculatively re-issued to an idle worker (first
+    #: result wins; duplicates are discarded by shard id).
+    stragglers_redispatched: int = 0
+    #: Worker processes replaced after death or circuit-breaker quarantine
+    #: (cluster executor), plus pool rebuilds after ``BrokenProcessPool``
+    #: (process executor).
+    workers_respawned: int = 0
+    #: Queries that fell back to in-process serial execution of remaining
+    #: shards after retry/pool exhaustion — degraded, never failed.
+    degraded_executions: int = 0
     wall_time_seconds: float = 0.0
     #: Aggregated storage-backend index build/hit deltas observed during
     #: executions (the engine database's ``cache_stats`` movements).
@@ -129,6 +142,10 @@ class EngineStats:
                 "cancelled_executions": self.cancelled_executions,
                 "shards_run": self.shards_run,
                 "invalidations": self.invalidations,
+                "tasks_retried": self.tasks_retried,
+                "stragglers_redispatched": self.stragglers_redispatched,
+                "workers_respawned": self.workers_respawned,
+                "degraded_executions": self.degraded_executions,
                 "wall_time_seconds": self.wall_time_seconds,
                 "storage_cache_events": dict(self.storage_cache_events),
                 "lp_cache_events": dict(self.lp_cache_events),
@@ -145,6 +162,13 @@ class EngineStats:
                  f"statistics: {self.statistics_measured} measured, "
                  f"{self.statistics_reused} reused; "
                  f"{self.invalidations} invalidations"]
+        if (self.tasks_retried or self.stragglers_redispatched
+                or self.workers_respawned or self.degraded_executions):
+            lines.append(
+                f"  faults: {self.tasks_retried} tasks retried, "
+                f"{self.stragglers_redispatched} stragglers re-dispatched, "
+                f"{self.workers_respawned} workers respawned, "
+                f"{self.degraded_executions} degraded executions")
         for label, bucket in (("storage caches", self.storage_cache_events),
                               ("lp caches", self.lp_cache_events),
                               ("kernels", self.kernel_cache_events)):
@@ -230,8 +254,14 @@ class Engine:
         can be overridden per ``prepare``/``execute`` call.
     executor:
         ``"thread"`` (default; shares warm indexes of unpartitioned
-        relations), ``"process"`` (forked workers, picklable row payloads) or
-        ``"serial"`` (the sharded dataflow on one core, for debugging).
+        relations), ``"process"`` (forked workers, picklable row payloads),
+        ``"cluster"`` (the fault-tolerant coordinator of
+        :mod:`repro.engine.cluster`: retries, straggler re-dispatch, worker
+        respawn, serial degradation) or ``"serial"`` (the sharded dataflow
+        on one core, for debugging).
+    cluster_config:
+        Optional :class:`~repro.engine.cluster.ClusterConfig` for the
+        ``"cluster"`` executor; ``None`` uses the defaults.
     measure_degrees:
         Whether auto-measured statistics include per-split max degrees
         (tighter plans, costlier measurement) or only cardinalities.
@@ -243,6 +273,7 @@ class Engine:
                  adaptive_threshold: float = 1e-6,
                  shards: int = 1,
                  executor: str = "thread",
+                 cluster_config=None,
                  measure_degrees: bool = False) -> None:
         self.database = database
         self.max_variables = max_variables
@@ -256,6 +287,12 @@ class Engine:
         # backend snapshot per query shape ever seen — including superseded
         # backends and their cached indexes — for the engine's lifetime.
         self._stats_memo: LruDict = LruDict(plan_cache_size)
+        # Worker infrastructure is built lazily: a persistent process pool
+        # (heals after BrokenProcessPool) and a cluster coordinator, both
+        # reporting fault counters into this engine's stats.
+        self._cluster_config = cluster_config
+        self._cluster = None
+        self._process_pool: PersistentProcessPool | None = None
 
     # ------------------------------------------------------------ statistics
     def measured_statistics(self, query: ConjunctiveQuery) -> ConstraintSet:
@@ -325,6 +362,33 @@ class Engine:
         self.plan_cache.clear()
         self._stats_memo.clear()
         self.stats.bump(invalidations=1)
+
+    def cluster_coordinator(self):
+        """This engine's (lazily built) cluster coordinator.
+
+        Exposed so operators and the chaos harness can install a fault plan,
+        read lifetime fault counters or shut the pool down explicitly.
+        """
+        if self._cluster is None:
+            from repro.engine.cluster import ClusterCoordinator
+
+            self._cluster = ClusterCoordinator(self._cluster_config,
+                                               stats=self.stats)
+        return self._cluster
+
+    def process_pool(self) -> PersistentProcessPool:
+        """This engine's (lazily built) persistent process pool."""
+        if self._process_pool is None:
+            self._process_pool = PersistentProcessPool(stats=self.stats)
+        return self._process_pool
+
+    def close(self) -> None:
+        """Release worker processes (idempotent; the engine stays usable —
+        the pools rebuild lazily on the next parallel execution)."""
+        if self._cluster is not None:
+            self._cluster.shutdown()
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
 
     # -------------------------------------------------------------- internals
     def _plan_key(self, query_digest: str, statistics_digest: str) -> tuple:
@@ -423,9 +487,14 @@ class Engine:
                 cancellation.check()
             result = None
             if shards > 1:
+                pool = (self.process_pool()
+                        if self.executor == "process" else None)
+                cluster = (self.cluster_coordinator()
+                           if self.executor == "cluster" else None)
                 result = run_partitioned(chosen, database, shards,
                                          executor=self.executor,
-                                         cancellation=cancellation)
+                                         cancellation=cancellation,
+                                         pool=pool, cluster=cluster)
             if result is not None:
                 parallel = True
             else:

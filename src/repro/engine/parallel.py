@@ -19,15 +19,20 @@ by per-worker :class:`~repro.relational.operators.WorkCounter` objects merged
 at join time (the counters are also individually thread-safe, so sharing one
 would merely serialize updates, not lose them).
 
-Two executors are provided: ``"thread"`` shares the parent's relations
-(copy-on-write facades, so cached indexes of the *unpartitioned* relations
-stay warm across shards) and ``"process"`` ships picklable row payloads to
-forked workers and rebuilds the plan from its structural description there.
+Three parallel executors are provided: ``"thread"`` shares the parent's
+relations (copy-on-write facades, so cached indexes of the *unpartitioned*
+relations stay warm across shards), ``"process"`` ships picklable row
+payloads to forked workers and rebuilds the plan from its structural
+description there, and ``"cluster"`` sends the same payloads through the
+fault-tolerant coordinator of :mod:`repro.engine.cluster` (retries,
+straggler re-dispatch, worker respawn, serial degradation).
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
 from repro.analysis.plan_verifier import (
@@ -41,7 +46,68 @@ from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
 from repro.utils.cancellation import CancellationToken
 
-EXECUTORS = ("thread", "process", "serial")
+EXECUTORS = ("thread", "process", "cluster", "serial")
+
+
+class PersistentProcessPool:
+    """A process pool that survives worker death *between* queries.
+
+    ``ProcessPoolExecutor`` is permanently broken once any worker dies: every
+    later submit raises ``BrokenProcessPool``, so an engine holding one
+    failed query would fail all of them.  This wrapper owns the executor,
+    detects brokenness on the dispatch path, discards the carcass, and
+    lazily rebuilds a fresh pool on the next dispatch — the query that hit
+    the dead worker still surfaces a structured error (the rows genuinely
+    were not computed), but the *next* query finds a healthy pool with no
+    manual reset.  Rebuilds after brokenness are reported to ``stats`` as
+    ``workers_respawned``.
+    """
+
+    def __init__(self, stats=None) -> None:
+        self._stats = stats
+        self._executor: ProcessPoolExecutor | None = None
+        self._workers = 0
+        self._broken = False
+        self._lock = threading.Lock()
+
+    def map(self, fn, payloads: Sequence, workers: int) -> list:
+        executor = self._ensure(workers)
+        try:
+            return list(executor.map(fn, payloads))
+        except BrokenProcessPool:
+            self._discard()
+            raise
+
+    def _ensure(self, workers: int) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is not None and workers > self._workers:
+                # Too small for this query: replace (an executor cannot grow).
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            if self._executor is None:
+                healing = self._broken
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_process_context())
+                self._workers = workers
+                self._broken = False
+                if healing and self._stats is not None:
+                    self._stats.bump(workers_respawned=workers)
+            return self._executor
+
+    def _discard(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._workers = 0
+            self._broken = True
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._workers = 0
 
 
 def choose_partition_atom(query: ConjunctiveQuery,
@@ -192,7 +258,9 @@ def _execute_shard(payload: dict):
 
 def run_partitioned(plan, database: Database, shards: int,
                     executor: str = "thread",
-                    cancellation: CancellationToken | None = None):
+                    cancellation: CancellationToken | None = None,
+                    pool: PersistentProcessPool | None = None,
+                    cluster=None):
     """Execute ``plan`` over ``shards`` hash-partitions of its heaviest atom.
 
     Returns the merged :class:`~repro.optimizer.planner.ExecutionResult`
@@ -206,6 +274,12 @@ def run_partitioned(plan, database: Database, shards: int,
     raises :class:`~repro.utils.cancellation.QueryCancelledError`, which
     propagates out of the pool; the remaining shards observe the same token
     (or deadline) and stop cooperatively as well.
+
+    ``pool`` optionally reuses a :class:`PersistentProcessPool` for the
+    ``"process"`` executor (an engine passes its own so worker forks amortize
+    across queries and brokenness heals); ``cluster`` likewise reuses a
+    :class:`~repro.engine.cluster.ClusterCoordinator` for the ``"cluster"``
+    executor — when omitted, a one-shot coordinator is built and torn down.
     """
     if shards < 2:
         raise ValueError("partition-parallel execution needs at least 2 shards")
@@ -239,9 +313,23 @@ def run_partitioned(plan, database: Database, shards: int,
         # here, by name, instead of dying inside the pool as an opaque
         # BrokenProcessPool (one payload suffices — they share structure).
         assert_valid("process shard payload", verify_shard_payload(payloads[0]))
-        with ProcessPoolExecutor(max_workers=shards,
-                                 mp_context=_process_context()) as pool:
-            shard_results = list(pool.map(_execute_shard, payloads))
+        if pool is not None:
+            shard_results = pool.map(_execute_shard, payloads, shards)
+        else:
+            with ProcessPoolExecutor(max_workers=shards,
+                                     mp_context=_process_context()) as ephemeral:
+                shard_results = list(ephemeral.map(_execute_shard, payloads))
+    elif executor == "cluster":
+        from repro.engine.cluster import ClusterCoordinator, run_shards
+
+        owned = cluster is None
+        coordinator = ClusterCoordinator() if owned else cluster
+        try:
+            shard_results = run_shards(plan, shard_dbs, coordinator,
+                                       cancellation)
+        finally:
+            if owned:
+                coordinator.shutdown()
     else:
         with ThreadPoolExecutor(max_workers=shards) as pool:
             shard_results = list(pool.map(

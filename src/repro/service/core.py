@@ -130,12 +130,14 @@ class QueryService:
     def create_tenant(self, name: str, database: Database, *,
                       shards: int = 1, executor: str = "thread",
                       plan_cache_size: int = 128, max_variables: int = 9,
+                      cluster_config=None,
                       measure_degrees: bool = False) -> Tenant:
         if self._closing:
             raise ServiceUnavailableError("service is shutting down")
         return self.registry.create(
             name, database, shards=shards, executor=executor,
             plan_cache_size=plan_cache_size, max_variables=max_variables,
+            cluster_config=cluster_config,
             measure_degrees=measure_degrees)
 
     def drop_tenant(self, name: str) -> None:
@@ -292,6 +294,11 @@ class QueryService:
                 self._cancel_active(f"shutdown grace of {grace}s expired")
         await self._wait_idle()
         self._executor.shutdown(wait=True)
+        # Release every tenant's worker processes (cluster coordinators and
+        # persistent process pools) — daemon workers would die with the
+        # process anyway, but an explicit close keeps shutdown deterministic.
+        for name in self.registry.names():
+            self.registry.get(name).engine.close()
 
     def _cancel_active(self, reason: str) -> None:
         for token in list(self._active_tokens):

@@ -1,0 +1,25 @@
+"""Shared deterministic test instrumentation (fault injection, chaos plans).
+
+This package is importable from production code paths — the cluster worker
+loop interprets fault directives through :mod:`repro.testing.faults` — but it
+is only ever *activated* by tests and benchmarks: with no fault plan
+installed, nothing here runs.
+"""
+
+from repro.testing.faults import (
+    ALL_INDEX_METHODS,
+    FaultInjected,
+    FaultPlan,
+    FlakyBackend,
+    flaky_database,
+    perform_fault,
+)
+
+__all__ = [
+    "ALL_INDEX_METHODS",
+    "FaultInjected",
+    "FaultPlan",
+    "FlakyBackend",
+    "flaky_database",
+    "perform_fault",
+]

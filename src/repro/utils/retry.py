@@ -1,0 +1,136 @@
+"""Deterministic retry policies: exponential backoff with seeded jitter.
+
+Retries in a distributed dispatch loop have two classic failure modes, and
+this module is built so both are *testable*:
+
+* **thundering herds** — N shards failing together and all retrying at the
+  same instant.  The cure is jitter, but random jitter makes failure
+  scheduling unreproducible, which is poison for a deterministic chaos
+  harness.  :class:`RetryPolicy` therefore derives its jitter from a keyed
+  hash of ``(seed, key, attempt)``: every (shard, attempt) pair gets its own
+  spread-out delay, and the whole schedule replays bit-identically for a
+  given seed.
+* **runaway retries** — attempt accounting scattered across call sites lets
+  concurrent failure paths (a worker death *and* an error ack for the same
+  shard) each grant themselves "one more try".  :class:`RetryBudget`
+  centralizes the ledger behind one lock, so the total number of granted
+  attempts per key can never exceed ``policy.max_attempts`` no matter how
+  many threads ask.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+
+def seeded_fraction(seed: int, *parts: object) -> float:
+    """A deterministic pseudo-random fraction in ``[0, 1)`` from a key.
+
+    Stable across processes and Python versions (unlike ``hash()``, which is
+    salted per interpreter): the fraction is read off a BLAKE2b digest of the
+    rendered key parts, so the same ``(seed, parts)`` always yields the same
+    value — in the coordinator, in a forked worker, and in the test that
+    pins the schedule.
+    """
+    digest = hashlib.blake2b(
+        ":".join(str(part) for part in (seed, *parts)).encode("utf-8"),
+        digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic, seeded jitter.
+
+    ``max_attempts`` counts *total* attempts (the first dispatch plus every
+    retry), so ``max_attempts=3`` means at most two retries.  The delay
+    before retry ``k`` (1-based) is::
+
+        min(max_delay, base_delay * multiplier**(k-1) * (1 + jitter * u))
+
+    where ``u`` is the seeded fraction for ``(seed, key, k)`` — two shards
+    failing in the same round back off at different instants, yet the whole
+    schedule is a pure function of the policy and the key.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("the backoff multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("the jitter fraction must be >= 0")
+
+    @property
+    def max_retries(self) -> int:
+        """Retries after the first attempt: ``max_attempts - 1``."""
+        return self.max_attempts - 1
+
+    def delay(self, retry: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``retry`` (1-based) of ``key``."""
+        if retry < 1:
+            raise ValueError("retry numbers are 1-based")
+        raw = self.base_delay * self.multiplier ** (retry - 1)
+        jittered = raw * (1.0 + self.jitter * seeded_fraction(
+            self.seed, key, retry))
+        return min(self.max_delay, jittered)
+
+    def schedule(self, key: str = "") -> tuple[float, ...]:
+        """The full backoff schedule for ``key``: one delay per retry."""
+        return tuple(self.delay(retry, key)
+                     for retry in range(1, self.max_attempts))
+
+
+class RetryBudget:
+    """A thread-safe attempt ledger enforcing ``policy.max_attempts`` per key.
+
+    Every dispatch — the first one included — draws an attempt number from
+    :meth:`grant`; a ``None`` grant means the key is exhausted and the caller
+    must degrade instead of retrying.  The grant happens atomically under one
+    lock, so concurrent failure observers (an error ack racing a dead-worker
+    reap for the same shard) can never jointly over-spend the budget.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self._attempts: dict[object, int] = {}
+        self._lock = threading.Lock()
+
+    def grant(self, key: object) -> int | None:
+        """The next attempt number for ``key`` (1-based), or ``None``."""
+        with self._lock:
+            used = self._attempts.get(key, 0)
+            if used >= self.policy.max_attempts:
+                return None
+            self._attempts[key] = used + 1
+            return used + 1
+
+    def attempts(self, key: object) -> int:
+        """Attempts granted for ``key`` so far."""
+        with self._lock:
+            return self._attempts.get(key, 0)
+
+    def exhausted(self, key: object) -> bool:
+        with self._lock:
+            return self._attempts.get(key, 0) >= self.policy.max_attempts
+
+    def delay_for(self, key: object, attempt: int) -> float:
+        """Backoff before ``attempt`` (the value :meth:`grant` returned).
+
+        Attempt 1 is the initial dispatch — no delay; attempt ``k > 1`` is
+        retry ``k - 1`` of the policy schedule.
+        """
+        if attempt <= 1:
+            return 0.0
+        return self.policy.delay(attempt - 1, key=str(key))

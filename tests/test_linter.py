@@ -27,6 +27,7 @@ from repro.analysis.rules import (
     REP104,
     REP105,
     REP106,
+    REP107,
 )
 from repro.relational import WorkCounter
 
@@ -346,6 +347,83 @@ def test_rep106_clean_with_named_slack_or_epsilon_literal():
                 return []
     """, rules=[REP106])
     assert not _hits(findings, "REP106")
+
+
+# ---------------------------------------------------------------------------
+# REP107: swallowed exceptions in dispatch/worker paths
+# ---------------------------------------------------------------------------
+
+def test_rep107_flags_swallowed_exception_in_engine_path():
+    findings = _lint("""
+        def submit(task):
+            try:
+                send(task)
+            except Exception:
+                pass
+    """, path="src/repro/engine/cluster.py", rules=[REP107])
+    (finding,) = _hits(findings, "REP107")
+    assert "except Exception" in finding.message
+    assert "observable sink" in finding.hint
+
+
+def test_rep107_flags_bare_except_in_worker_function_anywhere():
+    # Outside engine/, the scope is keyed on the function name.
+    findings = _lint("""
+        def run_worker(tasks):
+            for task in tasks:
+                try:
+                    task()
+                except:
+                    continue
+    """, path="src/repro/service/helpers.py", rules=[REP107])
+    (finding,) = _hits(findings, "REP107")
+    assert "bare" in finding.message
+
+
+def test_rep107_clean_when_failure_is_recorded_or_reraised():
+    findings = _lint("""
+        def dispatch_shard(task, stats, result_queue, run):
+            try:
+                task()
+            except Exception as exc:
+                result_queue.put(("err", str(exc)))
+            try:
+                task()
+            except Exception:
+                stats.bump(task_failures=1)
+            try:
+                task()
+            except Exception:
+                run["task_failures"] += 1
+            try:
+                task()
+            except Exception:
+                cleanup()
+                raise
+    """, path="src/repro/engine/cluster.py", rules=[REP107])
+    assert not _hits(findings, "REP107")
+
+
+def test_rep107_ignores_typed_handlers_and_non_dispatch_scopes():
+    findings = _lint("""
+        def submit(task):
+            try:
+                task()
+            except ValueError:
+                pass
+
+        def parse(document):
+            try:
+                return loads(document)
+            except Exception:
+                return None
+    """, path="src/repro/service/helpers.py", rules=[REP107])
+    assert not _hits(findings, "REP107")
+
+
+def test_rep107_keeps_the_shipped_dispatch_paths_clean():
+    report = lint_paths(["src/repro/engine/"], rules=[REP107])
+    assert not [f for f in report.findings if not f.suppressed]
 
 
 # ---------------------------------------------------------------------------

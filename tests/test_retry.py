@@ -1,0 +1,140 @@
+"""The retry/backoff policy: deterministic schedules, caps, budget bounds.
+
+The cluster coordinator's fault tolerance is only testable because retries
+are a pure function of (policy, key): these tests pin the seeded-jitter
+schedule exactly, and hammer the budget ledger from many threads to prove
+the total attempt count can never exceed the configured bound.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils.retry import RetryBudget, RetryPolicy, seeded_fraction
+
+
+# ---------------------------------------------------------------------------
+# seeded_fraction
+# ---------------------------------------------------------------------------
+
+def test_seeded_fraction_deterministic_and_bounded():
+    values = [seeded_fraction(7, "shard-3", attempt) for attempt in range(50)]
+    again = [seeded_fraction(7, "shard-3", attempt) for attempt in range(50)]
+    assert values == again
+    assert all(0.0 <= value < 1.0 for value in values)
+    # Distinct keys spread: not all equal (the anti-thundering-herd property).
+    assert len(set(values)) > 40
+
+
+def test_seeded_fraction_sensitive_to_every_part():
+    base = seeded_fraction(0, "k", 1)
+    assert seeded_fraction(1, "k", 1) != base
+    assert seeded_fraction(0, "other", 1) != base
+    assert seeded_fraction(0, "k", 2) != base
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+def test_zero_jitter_schedule_is_exact_exponential():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2.0,
+                        max_delay=10.0, jitter=0.0)
+    assert policy.schedule("any") == (0.01, 0.02, 0.04)
+    assert policy.max_retries == 3
+
+
+def test_jittered_schedule_is_pinned_and_reproducible():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, multiplier=2.0,
+                        max_delay=10.0, jitter=0.5, seed=42)
+    expected = tuple(
+        0.01 * 2.0 ** (retry - 1)
+        * (1.0 + 0.5 * seeded_fraction(42, "shard-0", retry))
+        for retry in (1, 2))
+    assert policy.schedule("shard-0") == expected
+    assert policy.schedule("shard-0") == policy.schedule("shard-0")
+    # A different key jitters differently — concurrent failures spread out.
+    assert policy.schedule("shard-1") != expected
+
+
+def test_delay_caps_at_max_delay():
+    policy = RetryPolicy(max_attempts=30, base_delay=0.01, multiplier=2.0,
+                        max_delay=0.25, jitter=0.5)
+    assert policy.delay(20) == 0.25
+    # Every delay in the whole schedule respects the cap.
+    assert all(delay <= 0.25 for delay in policy.schedule("k"))
+
+
+def test_delay_rejects_non_positive_retry_numbers():
+    policy = RetryPolicy()
+    with pytest.raises(ValueError):
+        policy.delay(0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_attempts": 0},
+    {"base_delay": -0.1},
+    {"max_delay": -1.0},
+    {"multiplier": 0.5},
+    {"jitter": -0.2},
+])
+def test_policy_validates_configuration(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# RetryBudget
+# ---------------------------------------------------------------------------
+
+def test_budget_grants_exactly_max_attempts_then_none():
+    budget = RetryBudget(RetryPolicy(max_attempts=3))
+    assert budget.grant("s") == 1
+    assert budget.grant("s") == 2
+    assert budget.grant("s") == 3
+    assert budget.grant("s") is None
+    assert budget.attempts("s") == 3
+    assert budget.exhausted("s")
+    # Independent keys have independent budgets.
+    assert budget.grant("t") == 1
+    assert not budget.exhausted("t")
+
+
+def test_budget_delay_for_first_attempt_is_zero():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0,
+                        multiplier=2.0, max_delay=1.0)
+    budget = RetryBudget(policy)
+    assert budget.delay_for("s", 1) == 0.0
+    assert budget.delay_for("s", 2) == policy.delay(1, key="s")
+    assert budget.delay_for("s", 3) == policy.delay(2, key="s")
+
+
+def test_budget_never_overspends_under_concurrent_grants():
+    """N threads racing grant() for one key — the classic double-retry race
+    (an error ack and a dead-worker reap observing the same failure) — must
+    jointly receive exactly ``max_attempts`` grants."""
+    policy = RetryPolicy(max_attempts=5)
+    budget = RetryBudget(policy)
+    grants: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(16)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(20):
+            attempt = budget.grant("shard-0")
+            if attempt is not None:
+                with lock:
+                    grants.append(attempt)
+
+    threads = [threading.Thread(target=hammer) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(grants) == policy.max_attempts
+    assert sorted(grants) == [1, 2, 3, 4, 5]
+    assert budget.grant("shard-0") is None

@@ -15,113 +15,12 @@ import pytest
 
 from repro.datagen import random_graph_database
 from repro.query import four_cycle_projected, triangle_query
-from repro.relational.storage import StorageBackend
 from repro.service import (
     QueryExecutionError,
     QueryService,
     ServiceConfig,
 )
-
-
-class FlakyBackend(StorageBackend):
-    """A delegating backend that raises on the k-th index build.
-
-    ``share()`` returns the wrapper itself (mirroring the base-class
-    contract), so the failure follows the relation through every renamed
-    facade the evaluator creates.  ``supports_kernels`` stays ``False``: the
-    point is to fail inside the tuple-at-a-time index machinery.
-    """
-
-    supports_kernels = False
-
-    def __init__(self, inner: StorageBackend, fail_on: tuple[str, ...],
-                 after: int = 1) -> None:
-        super().__init__()
-        self._inner = inner
-        self._fail_on = fail_on
-        self._after = after
-        self.index_calls = 0
-
-    @property
-    def kind(self) -> str:
-        # Derived relations inherit the wrapped engine's kind, so answers
-        # built from a flaky relation resolve to a real backend.
-        return self._inner.kind
-
-    def _maybe_fail(self, method: str) -> None:
-        if method in self._fail_on:
-            self.index_calls += 1
-            if self.index_calls >= self._after:
-                raise RuntimeError(
-                    f"injected fault: {method} build #{self.index_calls}")
-
-    def share(self) -> "FlakyBackend":
-        self.shared = True
-        self._inner.share()
-        return self
-
-    def heal(self) -> None:
-        """Stop injecting faults (the 'operator replaced the disk' event)."""
-        self._fail_on = ()
-
-    # -- delegation ---------------------------------------------------------
-    def __len__(self):
-        return len(self._inner)
-
-    def iter_rows(self):
-        return self._inner.iter_rows()
-
-    def row_set(self):
-        return self._inner.row_set()
-
-    def contains(self, row):
-        return self._inner.contains(row)
-
-    def add(self, row):
-        self._inner.add(row)
-
-    def fork(self):
-        return FlakyBackend(self._inner.fork(), self._fail_on, self._after)
-
-    def spawn(self, rows, assume_unique=False):
-        return self._inner.spawn(rows, assume_unique=assume_unique)
-
-    def has_cached_index(self, key_positions):
-        return self._inner.has_cached_index(key_positions)
-
-    def hash_index(self, key_positions):
-        self._maybe_fail("hash_index")
-        return self._inner.hash_index(key_positions)
-
-    def key_set(self, key_positions):
-        self._maybe_fail("key_set")
-        return self._inner.key_set(key_positions)
-
-    def degree_index(self, given_positions, value_position):
-        return self._inner.degree_index(given_positions, value_position)
-
-    def group_index(self, given_positions, value_positions):
-        self._maybe_fail("group_index")
-        return self._inner.group_index(given_positions, value_positions)
-
-    def trie(self, positions):
-        self._maybe_fail("trie")
-        return self._inner.trie(positions)
-
-    def project_backend(self, positions):
-        return self._inner.project_backend(positions)
-
-
-ALL_INDEX_METHODS = ("hash_index", "key_set", "group_index", "trie")
-
-
-def _flaky_database(query, after: int = 1):
-    """A random database whose first relation fails its ``after``-th index build."""
-    database = random_graph_database(query, size=50, domain=12, seed=11)
-    name = database.relation_names()[0]
-    flaky = FlakyBackend(database[name]._backend, ALL_INDEX_METHODS, after)
-    database[name]._backend = flaky
-    return database, flaky
+from repro.testing.faults import flaky_database as _flaky_database
 
 
 def test_flaky_index_build_returns_structured_error_then_recovers():
