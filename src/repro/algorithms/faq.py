@@ -37,6 +37,7 @@ from repro.query.cq import ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.semiring import AnnotatedRelation, Semiring
+from repro.telemetry.trace import get_tracer
 
 
 @dataclass
@@ -105,7 +106,11 @@ def evaluate_faq(query: ConjunctiveQuery, database: Database, semiring: Semiring
             continue
         if counter is not None:
             counter.check()
-        combined, peak = _eliminate(touching, variable)
+        with get_tracer().span("faq.eliminate",
+                               {"variable": variable,
+                                "factors": len(touching)}) as span:
+            combined, peak = _eliminate(touching, variable)
+            span.set("rows_out", len(combined))
         max_intermediate = max(max_intermediate, peak)
         if counter is not None:
             counter.tally(len(combined), peak,

@@ -38,6 +38,7 @@ from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
 from repro.relational.storage import ColumnarBackend
+from repro.telemetry.trace import get_tracer
 from repro.utils.cancellation import QueryCancelledError
 
 #: How many explored partial assignments the depth-first enumeration may
@@ -97,6 +98,15 @@ def generic_join(query: ConjunctiveQuery, database: Database,
         raise ValueError("variable_order must mention every query variable exactly once")
     if counter is not None:
         counter.check()
+    with get_tracer().span("wcoj.generic_join",
+                           {"query": query.name,
+                            "variables": len(order)}) as span:
+        return _generic_join_traced(query, database, order, counter, span)
+
+
+def _generic_join_traced(query: ConjunctiveQuery, database: Database,
+                         order: list[str], counter: WorkCounter | None,
+                         span) -> Relation:
     bound = database.bind_query(query)
     free = sorted(query.free_variables)
     order_index = {variable: level for level, variable in enumerate(order)}
@@ -136,6 +146,8 @@ def generic_join(query: ConjunctiveQuery, database: Database,
                 counter.tally(kernel_explored, len(result),
                               note=f"generic join explored {kernel_explored} "
                                    "partial assignments")
+            span.set("explored", kernel_explored)
+            span.set("rows_out", len(result))
             return result
     indexed = [_IndexedRelation(relation, order) for relation in bound]
     plans = _probe_plans(indexed, order)
@@ -186,6 +198,8 @@ def generic_join(query: ConjunctiveQuery, database: Database,
         # across partition-parallel shard workers.
         counter.tally(explored, len(result),
                       note=f"generic join explored {explored} partial assignments")
+    span.set("explored", explored)
+    span.set("rows_out", len(result))
     return result
 
 

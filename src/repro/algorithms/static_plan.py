@@ -19,6 +19,7 @@ from repro.query.cq import Atom, ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
+from repro.telemetry.trace import get_tracer
 from repro.utils.varsets import format_varset
 
 
@@ -97,7 +98,10 @@ def evaluate_static_plan(query: ConjunctiveQuery, database: Database,
     bag_relations = []
     for bag in decomposition.bags:
         work.check()
-        relation = compute_bag_relation(query, database, bag, counter=work)
+        with get_tracer().span("static.bag",
+                               {"bag": format_varset(bag)}) as span:
+            relation = compute_bag_relation(query, database, bag, counter=work)
+            span.set("rows_out", len(relation))
         report.bag_sizes[bag] = len(relation)
         bag_relations.append(relation)
     answer = yannakakis_over_relations(bag_relations, query.free_variables,

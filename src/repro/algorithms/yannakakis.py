@@ -28,6 +28,7 @@ from repro.query.hypergraph import JoinTree, gyo_reduction
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
+from repro.telemetry.trace import get_tracer
 
 
 class CyclicQueryError(ValueError):
@@ -116,25 +117,31 @@ def _full_reducer(relations: list[Relation], tree: JoinTree,
     current = list(relations)
     order = tree.bottom_up_order()
     # Upward pass: children filter parents.
-    for index in order:
-        parent = tree.parent[index]
-        if parent is None:
-            continue
-        if counter is not None:
-            counter.check()
-        current[parent] = current[parent].semijoin(current[index])
-        if counter is not None:
-            counter.record(current[parent], note=f"semijoin up into node {parent}")
+    with get_tracer().span("yannakakis.semijoin_pass",
+                           {"direction": "up", "nodes": len(order)}):
+        for index in order:
+            parent = tree.parent[index]
+            if parent is None:
+                continue
+            if counter is not None:
+                counter.check()
+            current[parent] = current[parent].semijoin(current[index])
+            if counter is not None:
+                counter.record(current[parent],
+                               note=f"semijoin up into node {parent}")
     # Downward pass: parents filter children.
-    for index in reversed(order):
-        parent = tree.parent[index]
-        if parent is None:
-            continue
-        if counter is not None:
-            counter.check()
-        current[index] = current[index].semijoin(current[parent])
-        if counter is not None:
-            counter.record(current[index], note=f"semijoin down into node {index}")
+    with get_tracer().span("yannakakis.semijoin_pass",
+                           {"direction": "down", "nodes": len(order)}):
+        for index in reversed(order):
+            parent = tree.parent[index]
+            if parent is None:
+                continue
+            if counter is not None:
+                counter.check()
+            current[index] = current[index].semijoin(current[parent])
+            if counter is not None:
+                counter.record(current[index],
+                               note=f"semijoin down into node {index}")
     return current
 
 
@@ -153,36 +160,43 @@ def _bottom_up_join(relations: list[Relation], tree: JoinTree,
     """
     order = tree.bottom_up_order()
     partial: dict[int, Relation] = {}
-    for index in order:
-        parent = tree.parent[index]
-        separator = tree.nodes[index] & tree.nodes[parent] if parent is not None \
-            else frozenset()
-        child_separators: set[str] = set()
-        for child in tree.children(index):
-            child_separators |= tree.nodes[index] & tree.nodes[child]
-        own = relations[index]
-        own_keep = (own.column_set & free_variables) | separator | child_separators
-        if counter is not None:
-            counter.check()
-        result = own.project(sorted(own_keep & own.column_set))
-        if counter is not None:
-            counter.record(result, note=f"project own relation of node {index}")
-        for child in tree.children(index):
+    with get_tracer().span("yannakakis.join_pass", {"nodes": len(order)}):
+        for index in order:
+            parent = tree.parent[index]
+            separator = tree.nodes[index] & tree.nodes[parent] \
+                if parent is not None else frozenset()
+            child_separators: set[str] = set()
+            for child in tree.children(index):
+                child_separators |= tree.nodes[index] & tree.nodes[child]
+            own = relations[index]
+            own_keep = (own.column_set & free_variables) | separator \
+                | child_separators
             if counter is not None:
                 counter.check()
-            result = result.hash_join(partial[child])
+            result = own.project(sorted(own_keep & own.column_set))
             if counter is not None:
-                counter.record(result, note=f"join child {child} into node {index}")
-        if parent is None:
-            keep = sorted(set(result.columns) & free_variables) \
-                if free_variables else []
-            projected = result.project(keep, name=name) if free_variables else result
-        else:
-            keep_set = (set(result.columns) & free_variables) | separator
-            projected = result.project(sorted(keep_set))
-        if counter is not None:
-            counter.record(projected, note=f"project node {index}")
-        partial[index] = projected
+                counter.record(result,
+                               note=f"project own relation of node {index}")
+            for child in tree.children(index):
+                if counter is not None:
+                    counter.check()
+                result = result.hash_join(partial[child])
+                if counter is not None:
+                    counter.record(result,
+                                   note=f"join child {child} into node {index}")
+            if parent is None:
+                keep = sorted(set(result.columns) & free_variables) \
+                    if free_variables else []
+                projected = result.project(keep, name=name) \
+                    if free_variables else result
+            else:
+                keep_set = (set(result.columns) & free_variables) | separator
+                projected = result.project(sorted(keep_set))
+            if counter is not None:
+                counter.record(projected, note=f"project node {index}")
+                counter.observe_node("node", sorted(tree.nodes[index]),
+                                     len(projected))
+            partial[index] = projected
     root_result = partial[tree.root]
     if not free_variables:
         rows = [()] if len(root_result) > 0 else []

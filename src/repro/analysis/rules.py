@@ -31,6 +31,12 @@ Every rule here is a post-mortem turned executable:
   A bare ``except Exception:`` in a dispatch/worker path that neither
   re-raises nor records to a counter/stats object swallows faults the
   chaos harness (and production operators) can never see.
+* **REP108** — the telemetry layer (PR 9) exposes every layer's counter
+  dict through registry pull sources, so ``/metrics`` and ``/stats``
+  reconcile by construction; that only holds if counter dicts
+  (``*_stats``/``*_counters``) move under a lock or through the registry's
+  atomic paths.  REP101 polices the two original containers; REP108 extends
+  the discipline to every dict the registry scrapes.
 """
 
 from __future__ import annotations
@@ -602,5 +608,75 @@ REP107 = register_rule(LintRule(
     check=_check_swallowed_dispatch_errors,
 ))
 
+# ---------------------------------------------------------------------------
+# REP108: counter dicts bypass the metrics registry
+# ---------------------------------------------------------------------------
+
+#: Container names REP101 already polices (exact, case-sensitive) — REP108
+#: covers everything else that *looks like* a counter dict.
+_REP101_CONTAINERS = frozenset({"stats", "_stats"})
+
+
+def _is_counter_container(name: str | None) -> bool:
+    """Does ``name`` look like a shared counter/stats dict?
+
+    Matches ``*_stats``/``*_counters`` (any case — module-global counter
+    dicts are upper-case by convention) plus the bare ``counters`` /
+    ``stats_counters`` names, but leaves the exact ``stats``/``_stats``
+    containers to REP101, which owns their history.
+    """
+    if name is None or name in _REP101_CONTAINERS:
+        return False
+    lowered = name.lower()
+    return (lowered.endswith(("_stats", "_counters"))
+            or lowered in ("counters", "stats_counters"))
+
+
+def _check_unregistered_counter_path(context: ModuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            container = target.value
+            name = (container.attr if isinstance(container, ast.Attribute)
+                    else container.id if isinstance(container, ast.Name)
+                    else None)
+            if not _is_counter_container(name):
+                continue
+            function = context.enclosing_function(node)
+            if function is not None and function.name in _SETUP_FUNCTIONS:
+                continue
+            if context.under_lock(node):
+                continue
+            findings.append(REP108.finding(
+                context, node,
+                f"counter dict {name!r} mutated outside a lock and outside "
+                "the metrics registry: the sample a concurrent /metrics "
+                "scrape (or /stats snapshot) reads can be torn or lost"))
+    return findings
+
+
+REP108 = register_rule(LintRule(
+    id="REP108",
+    name="unregistered-counter-path",
+    summary="counter dicts (*_stats, *_counters) move only under a lock or "
+            "through MetricsRegistry / the owner's locked bump()/tally()",
+    hint="route the increment through MetricsRegistry.bump_counters (or the "
+         "owner's locked helper, e.g. count_lp_event/_count_process), or "
+         "wrap it in `with <lock>:` so scrapes see consistent values",
+    history="the telemetry layer exposes every layer's counter dict via "
+            "pull sources; an unlocked mutation path makes /metrics and "
+            "/stats disagree in exactly the way the reconciliation tests "
+            "forbid",
+    check=_check_unregistered_counter_path,
+))
+
 #: The full repo rule set, in id order (used by docs and tests).
-ALL_RULES = (REP101, REP102, REP103, REP104, REP105, REP106, REP107)
+ALL_RULES = (REP101, REP102, REP103, REP104, REP105, REP106, REP107, REP108)

@@ -55,6 +55,7 @@ from typing import Sequence
 from repro.analysis.plan_verifier import assert_valid, verify_cluster_task
 from repro.engine.parallel import _execute_shard, _process_context, _shard_payload
 from repro.relational.operators import WorkCounter
+from repro.telemetry.trace import get_tracer
 from repro.utils.cancellation import CancellationToken, QueryCancelledError
 from repro.utils.retry import RetryBudget, RetryPolicy
 
@@ -170,6 +171,10 @@ class ClusterCoordinator:
         self._serial = 0
         self._spawned_ever = 0
         self._lock = threading.Lock()
+        #: Open "cluster.task" dispatch spans by task id.  Span objects are
+        #: coordinator-side only — they must never enter a task dict, which
+        #: gets pickled to a worker.
+        self._dispatch_spans: dict[str, object] = {}
         #: Lifetime totals across runs (updated under the run lock).
         self.counters: dict[str, int] = {name: 0 for name in RUN_COUNTERS}
 
@@ -188,6 +193,11 @@ class ClusterCoordinator:
                 return self._run_locked(plan, payloads, shard_dbs,
                                         cancellation, run)
             finally:
+                # Whatever ends the run — completion, cancellation, a stall
+                # abandoning the pool — every dispatch span closes exactly
+                # once; unacked tasks close with an explicit status.
+                for task_id in list(self._dispatch_spans):
+                    self._finish_dispatch(task_id, "unsettled")
                 for name, value in run.items():
                     self.counters[name] = self.counters[name] + value
                 if self._stats is not None:
@@ -286,6 +296,8 @@ class ClusterCoordinator:
             kind, task_id, shard, detail = message
             task = tasks.pop(task_id, None)
             self._note_idle(task_id, ok=(kind == "ok"), run=run)
+            self._finish_dispatch(
+                task_id, "ok" if kind == "ok" else f"error: {kind}")
             if task is None:
                 continue  # stale duplicate of an already-settled task
             inflight[shard].discard(task_id)
@@ -324,8 +336,15 @@ class ClusterCoordinator:
     # --------------------------------------------------------- dispatch bits
     def _build_task(self, plan, payload, shard, attempt, speculative):
         self._serial += 1
+        task_id = f"task-{self._serial}"
+        trace = payload.get("trace")
+        if trace is not None:
+            # Re-namespace the worker's span ids by this *task* (not shard):
+            # a retried or speculated shard runs as a distinct task, so its
+            # spans reassemble as distinct siblings instead of colliding.
+            payload = {**payload, "trace": {**trace, "prefix": task_id}}
         task = {
-            "task_id": f"task-{self._serial}",
+            "task_id": task_id,
             "shard": shard,
             "attempt": attempt,
             "speculative": speculative,
@@ -345,7 +364,20 @@ class ClusterCoordinator:
         inflight[task["shard"]].add(task["task_id"])
         self._assignments[task["task_id"]] = worker
         worker.current = task
+        span = get_tracer().span("cluster.task",
+                                 {"task_id": task["task_id"],
+                                  "shard": task["shard"],
+                                  "attempt": task["attempt"],
+                                  "speculative": task["speculative"]})
+        if span:
+            self._dispatch_spans[task["task_id"]] = span
         worker.queue.put(task)
+
+    def _finish_dispatch(self, task_id: str, status: str) -> None:
+        """Close the dispatch span of a settled task (idempotent)."""
+        span = self._dispatch_spans.pop(task_id, None)
+        if span is not None:
+            span.finish(status=status)
 
     def _schedule_retry(self, shard, budget, delayed, ready, failed, run):
         if budget.exhausted(shard):
@@ -470,6 +502,7 @@ class ClusterCoordinator:
             tasks.pop(task_id, None)
             self._assignments.pop(task_id, None)
             inflight[shard].discard(task_id)
+            self._finish_dispatch(task_id, "error: worker-died")
             if shard in results or inflight[shard]:
                 continue  # a twin already won or is still racing
             self._schedule_retry(shard, budget, delayed, ready, failed, run)

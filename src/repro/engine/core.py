@@ -53,6 +53,9 @@ from repro.relational.kernels import kernel_stats, kernel_stats_delta
 from repro.relational.operators import WorkCounter
 from repro.stats.collect import collect_statistics
 from repro.stats.constraints import ConstraintSet
+from repro.telemetry.metrics import bump_counters
+from repro.telemetry.profiler import CardinalityProfile, plan_nodes
+from repro.telemetry.trace import get_tracer
 from repro.utils.cancellation import CancellationToken, QueryCancelledError
 
 
@@ -120,6 +123,13 @@ class EngineStats:
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
+        # Mirror the movement into the process-wide metrics registry (after
+        # releasing the lock — the registry takes its own).  The event
+        # buckets absorbed via ``absorb_events`` are *not* forwarded: the
+        # storage/LP/kernel layers already publish those process-wide
+        # through their registered pull sources.
+        bump_counters({f"engine.stats.{name}": delta
+                       for name, delta in deltas.items()})
 
     def absorb_events(self, target: str, delta: dict[str, int]) -> None:
         with self._lock:
@@ -309,8 +319,11 @@ class Engine:
             if revision == self.database.revision and seen_snapshot == snapshot:
                 self.stats.bump(statistics_reused=1)
                 return statistics
-        statistics = collect_statistics(self.database, query,
-                                        include_degrees=self.measure_degrees)
+        with get_tracer().span("engine.statistics",
+                               {"query": query.name,
+                                "degrees": self.measure_degrees}):
+            statistics = collect_statistics(
+                self.database, query, include_degrees=self.measure_degrees)
         self._stats_memo.put(query, (self.database.revision, snapshot, statistics))
         self.stats.bump(statistics_measured=1)
         return statistics
@@ -349,6 +362,63 @@ class Engine:
                      shards: int | None = None) -> list[ExecutionResult]:
         """Serve a workload of queries; repeated shapes hit the plan cache."""
         return [self.execute(query, shards=shards) for query in queries]
+
+    def explain(self, query: ConjunctiveQuery,
+                statistics: ConstraintSet | None = None,
+                shards: int | None = None,
+                analyze: bool = False) -> dict:
+        """The chosen plan as a structured document; ``analyze=True`` also
+        executes it and reports what actually happened.
+
+        The analyze section carries the run's wall time, output row count,
+        work-counter totals, the cache events the run moved, the trace
+        (every span with offsets and durations), and the plan's
+        ``estimated_vs_observed`` cardinality report — the polymatroid
+        prediction next to the observed size for every plan node.
+        """
+        prepared = self.prepare(query, statistics=statistics, shards=shards)
+        plan = prepared.plan
+        doc = {
+            "query": str(query),
+            "kind": plan.kind.value,
+            "reason": plan.reason,
+            "fingerprint": plan.fingerprint,
+            "shards": prepared.shards,
+            "explain": plan.explain(),
+        }
+        if not analyze:
+            return doc
+        tracer = get_tracer()
+        storage_before = self.database.cache_stats()
+        lp_before = lp_cache_stats()
+        kernel_before = kernel_stats()
+        started = time.perf_counter()
+        with tracer.span("engine.explain_analyze",
+                         {"query": query.name}) as span:
+            result = prepared.execute()
+            ctx = span.context()
+        trace_id = ctx.trace_id if ctx is not None else ""
+        counter = result.counter
+        doc["analyze"] = {
+            "trace_id": trace_id,
+            "row_count": len(result.answer),
+            "wall_seconds": time.perf_counter() - started,
+            "work": {
+                "intermediate_tuples": counter.intermediate_tuples,
+                "max_intermediate": counter.max_intermediate,
+                "materializations": counter.materializations,
+            },
+            "cache_events": {
+                "storage": _dict_delta(self.database.cache_stats(),
+                                       storage_before),
+                "lp": lp_cache_delta(lp_before),
+                "kernels": kernel_stats_delta(kernel_before),
+            },
+            "trace": tracer.export_trace(trace_id) if trace_id else None,
+            "estimated_vs_observed": (plan.profile.estimated_vs_observed()
+                                      if plan.profile is not None else []),
+        }
+        return doc
 
     def cache_stats(self) -> dict[str, int]:
         """Plan-cache counters merged with the database's index counters."""
@@ -397,32 +467,52 @@ class Engine:
 
     def _resolve_plan(self, query: ConjunctiveQuery,
                       statistics: ConstraintSet) -> QueryPlan:
+        tracer = get_tracer()
         query_digest, renaming = query_fingerprint(query)
         statistics_digest = statistics_fingerprint(statistics, renaming)
         key = self._plan_key(query_digest, statistics_digest)
-        recipe = self.plan_cache.get(key)
-        if recipe is not None:
-            rebuilt = self._plan_from_recipe(recipe, query, statistics, renaming)
-            if rebuilt is not None:
-                self.stats.bump(plans_reused=1)
-                return rebuilt
+        with tracer.span("engine.plan_cache",
+                         {"query": query.name}) as cache_span:
+            recipe = self.plan_cache.get(key)
+            rebuilt = (self._plan_from_recipe(recipe, query, statistics,
+                                              renaming)
+                       if recipe is not None else None)
+            cache_span.set("hit", rebuilt is not None)
+        if rebuilt is not None:
+            rebuilt.profile = recipe.profile
+            rebuilt.renaming = renaming
+            if recipe.profile is not None:
+                # A renamed twin may execute through this entry: make sure
+                # every node the rebuilt plan prices exists in the shared
+                # profile (idempotent for already-seeded nodes).
+                recipe.profile.seed(plan_nodes(rebuilt), statistics, renaming)
+            self.stats.bump(plans_reused=1)
+            return rebuilt
         before_lp = lp_cache_stats()
-        estimate = estimate_costs(query, statistics,
-                                  max_variables=self.max_variables)
-        chosen = choose_plan(query, statistics,
-                             max_variables=self.max_variables,
-                             adaptive_threshold=self.adaptive_threshold,
-                             estimate=estimate)
+        with tracer.span("engine.lp_solve", {"query": query.name}) as lp_span:
+            estimate = estimate_costs(query, statistics,
+                                      max_variables=self.max_variables)
+            chosen = choose_plan(query, statistics,
+                                 max_variables=self.max_variables,
+                                 adaptive_threshold=self.adaptive_threshold,
+                                 estimate=estimate)
+            lp_span.set("kind", chosen.kind.value)
         chosen.fingerprint = plan_fingerprint(query_digest, statistics_digest)
         self.stats.absorb_events("lp_cache_events", lp_cache_delta(before_lp))
+        profile = CardinalityProfile(chosen.fingerprint, chosen.kind.value)
+        profile.seed(plan_nodes(chosen), statistics, renaming)
+        chosen.profile = profile
+        chosen.renaming = renaming
         fresh_recipe = self._recipe_from_plan(chosen, renaming)
         # Statically verify the decision before it becomes a cache entry:
         # a malformed recipe cached here would be rebuilt with
         # ``validate=False`` on every later hit and shipped to shard
         # workers as bare bags, returning wrong answers silently.
-        assert_valid(f"plan recipe {fresh_recipe.fingerprint}",
-                     verify_recipe(fresh_recipe, query=query,
-                                   renaming=renaming))
+        with tracer.span("engine.verify",
+                         {"fingerprint": fresh_recipe.fingerprint}):
+            assert_valid(f"plan recipe {fresh_recipe.fingerprint}",
+                         verify_recipe(fresh_recipe, query=query,
+                                       renaming=renaming))
         self.plan_cache.put(key, fresh_recipe)
         self.stats.bump(plans_built=1, plans_verified=1)
         return chosen
@@ -447,6 +537,7 @@ class Engine:
             decomposition_bags=tuple(canonical_bags(td.bags)
                                      for td in chosen.decompositions),
             fingerprint=chosen.fingerprint,
+            profile=chosen.profile,
         )
 
     def _plan_from_recipe(self, recipe: PlanRecipe, query: ConjunctiveQuery,
@@ -482,36 +573,44 @@ class Engine:
         lp_before = lp_cache_stats()
         kernel_before = kernel_stats()
         started = time.perf_counter()
-        try:
-            if cancellation is not None:
-                cancellation.check()
-            result = None
-            if shards > 1:
-                pool = (self.process_pool()
-                        if self.executor == "process" else None)
-                cluster = (self.cluster_coordinator()
-                           if self.executor == "cluster" else None)
-                result = run_partitioned(chosen, database, shards,
-                                         executor=self.executor,
-                                         cancellation=cancellation,
-                                         pool=pool, cluster=cluster)
-            if result is not None:
-                parallel = True
-            else:
-                counter = (WorkCounter(cancellation=cancellation)
-                           if cancellation is not None else None)
-                result = chosen.execute(database, counter=counter)
-                parallel = False
-        except QueryCancelledError:
-            # A cancelled run still spent wall time and moved the caches;
-            # account for it (separately from successful executions) so the
-            # service's deadline tests can assert bounded overshoot from the
-            # stats alone.
-            self.stats.bump(cancelled_executions=1,
-                            wall_time_seconds=time.perf_counter() - started)
-            self._absorb_execution_events(database, storage_before,
-                                          lp_before, kernel_before)
-            raise
+        with get_tracer().span("engine.execute",
+                               {"query": chosen.query.name,
+                                "kind": chosen.kind.value,
+                                "shards": shards,
+                                "executor": self.executor}) as span:
+            try:
+                if cancellation is not None:
+                    cancellation.check()
+                result = None
+                if shards > 1:
+                    pool = (self.process_pool()
+                            if self.executor == "process" else None)
+                    cluster = (self.cluster_coordinator()
+                               if self.executor == "cluster" else None)
+                    result = run_partitioned(chosen, database, shards,
+                                             executor=self.executor,
+                                             cancellation=cancellation,
+                                             pool=pool, cluster=cluster)
+                if result is not None:
+                    parallel = True
+                else:
+                    counter = (WorkCounter(cancellation=cancellation)
+                               if cancellation is not None else None)
+                    result = chosen.execute(database, counter=counter)
+                    parallel = False
+            except QueryCancelledError:
+                # A cancelled run still spent wall time and moved the caches;
+                # account for it (separately from successful executions) so
+                # the service's deadline tests can assert bounded overshoot
+                # from the stats alone.
+                self.stats.bump(
+                    cancelled_executions=1,
+                    wall_time_seconds=time.perf_counter() - started)
+                self._absorb_execution_events(database, storage_before,
+                                              lp_before, kernel_before)
+                raise
+            span.set("parallel", parallel)
+            span.set("rows_out", len(result.answer))
         if parallel:
             self.stats.bump(executions=1, parallel_executions=1,
                             shards_run=shards,
@@ -521,7 +620,21 @@ class Engine:
                             wall_time_seconds=time.perf_counter() - started)
         self._absorb_execution_events(database, storage_before,
                                       lp_before, kernel_before)
+        self._record_profile(chosen, result)
         return result
+
+    def _record_profile(self, chosen: QueryPlan,
+                        result: ExecutionResult) -> None:
+        """Fold one successful execution's node observations into the plan's
+        cardinality profile (a no-op for plans built outside this engine)."""
+        profile = getattr(chosen, "profile", None)
+        if profile is None:
+            return
+        observations = list(result.counter.observations)
+        observations.append(("output",
+                             tuple(sorted(result.answer.columns)),
+                             len(result.answer)))
+        profile.record(observations, chosen.renaming or {})
 
     def _absorb_execution_events(self, database: Database,
                                  storage_before: dict[str, int],

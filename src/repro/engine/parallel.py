@@ -44,6 +44,7 @@ from repro.query.cq import Atom, ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
+from repro.telemetry.trace import SpanContext, get_tracer
 from repro.utils.cancellation import CancellationToken
 
 EXECUTORS = ("thread", "process", "cluster", "serial")
@@ -164,8 +165,14 @@ def merge_shard_results(query: ConjunctiveQuery, shard_results: Sequence,
         rows.update(result.answer.rows)
     answer = Relation(query.name, columns, rows, backend=backend_kind)
     counter = WorkCounter()
+    tracer = get_tracer()
     for result in shard_results:
         counter.merge(result.counter)
+        # Splice span records shipped home by process/cluster workers back
+        # into the coordinator's trace (empty for in-process shards).
+        shipped = getattr(result, "spans", None)
+        if shipped:
+            tracer.adopt(shipped)
     return ExecutionResult(answer=answer, counter=counter,
                            details=[result.details for result in shard_results])
 
@@ -197,13 +204,18 @@ def _database_payload(database: Database) -> dict:
 
 
 def _shard_payload(plan, shard_db: Database,
-                   cancellation: CancellationToken | None = None) -> dict:
+                   cancellation: CancellationToken | None = None,
+                   trace_prefix: str = "") -> dict:
     """Everything a worker process needs to re-run ``plan`` on ``shard_db``.
 
     Cancellation crosses the process boundary as a wall-clock ``deadline``
     (every worker on the box reads the same clock), so a deadline-exceeded
     sharded run trips cooperatively inside each worker rather than waiting
     for the pool to finish.
+
+    ``trace_prefix`` namespaces the span ids the worker will allocate
+    (``shard-3.s1``, …); the ambient span context ships with the payload so
+    the worker's spans reattach under the coordinator's trace.
     """
     return {
         "kind": plan.kind,
@@ -215,6 +227,7 @@ def _shard_payload(plan, shard_db: Database,
                                     for td in plan.decompositions),
         "relations": _database_payload(shard_db),
         "deadline": cancellation.deadline if cancellation is not None else None,
+        "trace": get_tracer().export_context(prefix=trace_prefix),
     }
 
 
@@ -251,8 +264,23 @@ def _execute_shard(payload: dict):
     if payload.get("deadline") is not None:
         token = CancellationToken(deadline=payload["deadline"])
         counter = WorkCounter(cancellation=token)
-    result = plan.execute(database, counter=counter)
+    ctx = SpanContext.from_dict(payload.get("trace"))
+    tracer = get_tracer()
+    if ctx is None:
+        result = plan.execute(database, counter=counter)
+        result.details = None
+        return result
+    # A forked worker inherits the parent's tracer state; the shipped
+    # prefix namespaces every id allocated here, so reassembled spans can
+    # never collide with the coordinator's (or a retry twin's).
+    with tracer.span("exec.shard", {"prefix": ctx.prefix},
+                     parent=ctx) as span:
+        result = plan.execute(database, counter=counter)
+        span.set("rows_out", len(result.answer))
     result.details = None
+    # Ship this process's finished spans home with the result; the
+    # coordinator splices them back via ``Tracer.adopt``.
+    result.spans = tracer.drain_remote(ctx.trace_id, ctx.prefix)
     return result
 
 
@@ -307,8 +335,9 @@ def run_partitioned(plan, database: Database, shards: int,
         shard_results = [plan.execute(shard_db, counter=shard_counter())
                          for shard_db in shard_dbs]
     elif executor == "process":
-        payloads = [_shard_payload(plan, shard_db, cancellation)
-                    for shard_db in shard_dbs]
+        payloads = [_shard_payload(plan, shard_db, cancellation,
+                                   trace_prefix=f"shard-{index}")
+                    for index, shard_db in enumerate(shard_dbs)]
         # Payloads cross the process boundary: reject unpicklable callables
         # here, by name, instead of dying inside the pool as an opaque
         # BrokenProcessPool (one payload suffices — they share structure).
@@ -331,10 +360,24 @@ def run_partitioned(plan, database: Database, shards: int,
             if owned:
                 coordinator.shutdown()
     else:
+        # Contextvars do not cross ThreadPoolExecutor workers on their own:
+        # capture the ambient span context here and re-attach it inside each
+        # worker thread, so shard spans nest under the coordinator's trace.
+        parent_ctx = get_tracer().current_context()
+
+        def run_shard(shard_db: Database):
+            if parent_ctx is None:
+                return plan.execute(shard_db, counter=shard_counter())
+            tracer = get_tracer()
+            with tracer.attach(parent_ctx):
+                with tracer.span("exec.shard",
+                                 {"executor": "thread"}) as span:
+                    result = plan.execute(shard_db, counter=shard_counter())
+                    span.set("rows_out", len(result.answer))
+            return result
+
         with ThreadPoolExecutor(max_workers=shards) as pool:
-            shard_results = list(pool.map(
-                lambda shard_db: plan.execute(shard_db, counter=shard_counter()),
-                shard_dbs))
+            shard_results = list(pool.map(run_shard, shard_dbs))
     return merge_shard_results(plan.query, shard_results, database.backend_kind)
 
 

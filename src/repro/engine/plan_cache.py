@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.optimizer.planner import PlanKind
 
@@ -39,6 +39,13 @@ class PlanRecipe:
     decomposition_bags: tuple[tuple[frozenset[str], ...], ...]
     #: ``query digest x statistics digest`` — the entry's identity.
     fingerprint: str
+    #: The entry's cardinality profile
+    #: (:class:`repro.telemetry.profiler.CardinalityProfile`): estimated vs
+    #: observed sizes per plan node, in canonical variable space.  Mutable
+    #: telemetry riding inside a frozen decision — it accumulates across
+    #: every execution (and every alpha-renaming) served from this entry,
+    #: and is excluded from the recipe's value semantics.
+    profile: object | None = field(default=None, repr=False, compare=False)
 
 
 class LruDict:

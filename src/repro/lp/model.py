@@ -36,6 +36,7 @@ historical rebuild-per-solve behaviour — the baseline that
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -59,6 +60,10 @@ class UnboundedProgramError(RuntimeError):
 # ---------------------------------------------------------------------------
 
 _STATS: dict[str, int] = {}
+# The engine's thread pool solves LPs for concurrent queries; the shared
+# stats table needs the same read-modify-write guard as every other
+# process-wide counter (lint rule REP108).
+_STATS_LOCK = threading.Lock()
 _CACHING_ENABLED: bool = True
 _CACHE_CLEARERS: list[Callable[[], None]] = []
 
@@ -66,14 +71,16 @@ _CACHE_CLEARERS: list[Callable[[], None]] = []
 def count_lp_event(event: str, amount: int = 1) -> None:
     """Bump a counter in the shared LP cache-stats table."""
     if amount:
-        _STATS[event] = _STATS.get(event, 0) + amount
+        with _STATS_LOCK:
+            _STATS[event] = _STATS.get(event, 0) + amount
 
 
 def lp_cache_stats() -> dict[str, int]:
     """Build/hit counters for every LP-layer cache (compiled matrices,
     polymatroid regions, elemental-inequality memo, Shannon-flow certificates,
     edge-cover programs, deduplicated rows)."""
-    return dict(_STATS)
+    with _STATS_LOCK:
+        return dict(_STATS)
 
 
 def lp_cache_delta(before: Mapping[str, int]) -> dict[str, int]:
@@ -85,7 +92,8 @@ def lp_cache_delta(before: Mapping[str, int]) -> dict[str, int]:
 
 
 def reset_lp_cache_stats() -> None:
-    _STATS.clear()
+    with _STATS_LOCK:
+        _STATS.clear()
 
 
 def lp_caching_enabled() -> bool:

@@ -26,7 +26,7 @@ engine so every caller shares that one costed-plan path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Sequence
 
@@ -40,6 +40,7 @@ from repro.relational.database import Database
 from repro.relational.operators import WorkCounter
 from repro.relational.relation import Relation
 from repro.stats.constraints import ConstraintSet
+from repro.telemetry.trace import get_tracer
 
 
 class PlanKind(str, Enum):
@@ -57,6 +58,9 @@ class ExecutionResult:
     answer: Relation
     counter: WorkCounter
     details: object | None = None
+    #: Finished span records a shard worker ships back with its result, to
+    #: be readopted into the coordinator's trace (empty in-process).
+    spans: list = field(default_factory=list)
 
     @property
     def output_size(self) -> int:
@@ -87,6 +91,12 @@ class QueryPlan:
     #: The plan-cache identity: canonical query fingerprint × statistics
     #: fingerprint.  Empty for plans built outside an engine.
     fingerprint: str = ""
+    #: The engine-attached cardinality profile
+    #: (:class:`repro.telemetry.profiler.CardinalityProfile`) and the
+    #: query → canonical variable renaming its observations map through.
+    #: ``None`` for plans built outside an engine.
+    profile: object | None = field(default=None, repr=False, compare=False)
+    renaming: dict | None = field(default=None, repr=False, compare=False)
 
     def execute(self, database: Database,
                 counter: WorkCounter | None = None) -> ExecutionResult:
@@ -222,7 +232,10 @@ def _run_yannakakis(query: ConjunctiveQuery, database: Database,
                     counter: WorkCounter | None = None) -> ExecutionResult:
     counter = counter if counter is not None else WorkCounter()
     counter.check()
-    answer = evaluate_yannakakis(query, database, counter=counter)
+    with get_tracer().span("exec.yannakakis",
+                           {"query": query.name}) as span:
+        answer = evaluate_yannakakis(query, database, counter=counter)
+        span.set("rows_out", len(answer))
     return ExecutionResult(answer=answer, counter=counter)
 
 
@@ -231,8 +244,15 @@ def _run_static(query: ConjunctiveQuery, database: Database,
                 counter: WorkCounter | None = None) -> ExecutionResult:
     counter = counter if counter is not None else WorkCounter()
     counter.check()
-    answer, report = evaluate_static_plan(query, database, decomposition,
-                                          counter=counter, validate=validate)
+    with get_tracer().span("exec.static_td",
+                           {"query": query.name,
+                            "bags": len(tuple(decomposition.bags))}) as span:
+        answer, report = evaluate_static_plan(query, database, decomposition,
+                                              counter=counter,
+                                              validate=validate)
+        span.set("rows_out", len(answer))
+    for bag, size in report.bag_sizes.items():
+        counter.observe_node("bag", sorted(bag), size)
     return ExecutionResult(answer=answer, counter=counter, details=report)
 
 
@@ -242,9 +262,16 @@ def _run_adaptive(query: ConjunctiveQuery, database: Database,
                   counter: WorkCounter | None = None) -> ExecutionResult:
     counter = counter if counter is not None else WorkCounter()
     counter.check()
-    answer, report = evaluate_adaptive(query, database, statistics=statistics,
-                                       decompositions=decompositions,
-                                       max_variables=max_variables,
-                                       counter=counter)
+    with get_tracer().span("exec.adaptive_panda",
+                           {"query": query.name}) as span:
+        answer, report = evaluate_adaptive(query, database,
+                                           statistics=statistics,
+                                           decompositions=decompositions,
+                                           max_variables=max_variables,
+                                           counter=counter)
+        span.set("rows_out", len(answer))
+        span.set("max_intermediate", report.max_intermediate)
     counter.observe_max(report.max_intermediate)
+    for bag, size in report.bag_sizes.items():
+        counter.observe_node("bag", sorted(bag), size)
     return ExecutionResult(answer=answer, counter=counter, details=report)

@@ -53,6 +53,7 @@ from repro.query.cq import ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.stats.constraints import ConstraintSet, DegreeConstraint
+from repro.telemetry.trace import get_tracer
 from repro.utils.varsets import format_varset
 
 
@@ -131,9 +132,16 @@ def evaluate_ddr(ddr: DisjunctiveDatalogRule, database: Database,
                          threshold=threshold)
     _record_sizes(entries, report)
 
-    for step in sequence.steps:
-        _apply_step(step, entries, threshold, report, filters)
-        _record_sizes(entries, report)
+    # One span covers the whole proof replay: a span per step costs more
+    # than the cheap steps themselves on warm plans (proofs run to dozens
+    # of steps), and the step-by-step trajectory is already recorded on
+    # ``report.step_log`` for anyone debugging a single proof.
+    with get_tracer().span("panda.proof",
+                           {"steps": len(sequence.steps)}) as span:
+        for step in sequence.steps:
+            _apply_step(step, entries, threshold, report, filters)
+            _record_sizes(entries, report)
+        span.set("live_terms", len(entries))
 
     heads = _collect_heads(ddr, entries, threshold)
     report.head_sizes = {bag: len(rel) for bag, rel in heads.items()}

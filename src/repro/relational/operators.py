@@ -46,6 +46,12 @@ class WorkCounter:
     max_intermediate: int = 0
     materializations: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Per-plan-node observed sizes, ``(kind, variables, rows)`` triples
+    #: recorded by the runners and consumed by the telemetry cardinality
+    #: profiler.  Plain tuples so they pickle across shard workers and merge
+    #: exactly like the scalar counters.
+    observations: list[tuple[str, tuple[str, ...], int]] = \
+        field(default_factory=list)
     #: Optional cooperative-cancellation token (anything with ``check()``).
     cancellation: object | None = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -71,6 +77,17 @@ class WorkCounter:
             if note:
                 self.notes.append(note)
 
+    def observe_node(self, kind: str, variables: Iterable[str],
+                     rows: int) -> None:
+        """Record one plan node's observed size for the cardinality profiler.
+
+        Deliberately separate from :meth:`tally`: a node observation is a
+        *label-resolved* fact ("bag {x,y,z} materialised 412 rows"), not a
+        work total, so it must not double-count into ``intermediate_tuples``.
+        """
+        with self._lock:
+            self.observations.append((str(kind), tuple(variables), int(rows)))
+
     def observe_max(self, largest: int) -> None:
         """Raise ``max_intermediate`` to at least ``largest``, atomically.
 
@@ -91,11 +108,13 @@ class WorkCounter:
             largest = other.max_intermediate
             materializations = other.materializations
             notes = list(other.notes)
+            observations = list(other.observations)
         with self._lock:
             self.intermediate_tuples += tuples
             self.max_intermediate = max(self.max_intermediate, largest)
             self.materializations += materializations
             self.notes.extend(notes)
+            self.observations.extend(observations)
 
     # Locks cannot cross pickle (process-parallel shard payloads) — drop the
     # lock on the way out and give the copy a fresh one.

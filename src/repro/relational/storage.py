@@ -56,6 +56,39 @@ except ImportError:  # pragma: no cover - exercised only on broken installs
 IndexKey = tuple[int, ...]
 
 
+# Process-wide mirror of every backend instance's ``stats`` dict.  Backend
+# stats are per-instance (each database snapshots its own via
+# ``Database.cache_stats``); the telemetry metrics registry needs one
+# process-level series per event, so ``_count`` additionally folds every
+# event into this aggregate.  Monotone counters only — never reconciled
+# against the per-instance dicts, which come and go with their backends.
+_PROCESS_STATS: dict[str, int] = {}
+_PROCESS_STATS_LOCK = threading.Lock()
+
+
+def _count_process(event: str) -> None:
+    with _PROCESS_STATS_LOCK:
+        _PROCESS_STATS[event] = _PROCESS_STATS.get(event, 0) + 1
+
+
+def storage_stats() -> dict[str, int]:
+    """A snapshot of the process-wide storage build/hit counters."""
+    with _PROCESS_STATS_LOCK:
+        return dict(_PROCESS_STATS)
+
+
+def storage_stats_delta(before: dict[str, int]) -> dict[str, int]:
+    """Counter movements since a :func:`storage_stats` snapshot."""
+    after = storage_stats()
+    return {event: after.get(event, 0) - before.get(event, 0)
+            for event in set(after) | set(before)}
+
+
+def reset_storage_stats() -> None:
+    with _PROCESS_STATS_LOCK:
+        _PROCESS_STATS.clear()
+
+
 def stable_row_hash(row: tuple) -> int:
     """A process-independent hash of a row.
 
@@ -105,6 +138,7 @@ class StorageBackend:
         # exactly like the WorkCounter race this increment mirrors.
         with self._stats_lock:
             self.stats[event] = self.stats.get(event, 0) + 1
+        _count_process(event)
 
     # Locks cannot cross pickle; regrow one on the other side.
     def __getstate__(self) -> dict:
@@ -776,6 +810,7 @@ class AnnotatedBackend:
     def _count(self, event: str) -> None:
         with self._stats_lock:
             self.stats[event] = self.stats.get(event, 0) + 1
+        _count_process(event)
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()

@@ -64,16 +64,19 @@ class AdmissionController:
         tenant already at its own limit queues (or rejects) without pinning a
         global slot that another tenant could use.
         """
+        # Every mutation below runs on the event loop with no `await` between
+        # read and write (the module invariant the concurrency tests assert),
+        # so these are single-threaded and need no lock.
         counters = self.stats_counters
-        counters["submitted"] += 1
+        counters["submitted"] += 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
         waiting_here = self._waiting_tenant.get(tenant, 0)
         if waiting_here >= self.tenant_queue_depth:
-            counters["rejected_tenant"] += 1
+            counters["rejected_tenant"] += 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
             raise AdmissionRejectedError(
                 f"tenant {tenant!r} already has {waiting_here} queries queued "
                 f"(limit {self.tenant_queue_depth})", scope="tenant", tenant=tenant)
         if self._waiting_global >= self.queue_depth:
-            counters["rejected_global"] += 1
+            counters["rejected_global"] += 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
             raise AdmissionRejectedError(
                 f"{self._waiting_global} queries already queued globally "
                 f"(limit {self.queue_depth})", scope="global", tenant=tenant)
@@ -94,15 +97,16 @@ class AdmissionController:
                 # did acquire so the slot accounting stays exact.
                 if acquired_tenant:
                     self._tenant_sem(tenant).release()
-        counters["admitted"] += 1
-        counters["in_flight"] += 1
+        counters["admitted"] += 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
+        counters["in_flight"] += 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
+        # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
         counters["peak_in_flight"] = max(counters["peak_in_flight"],
                                          counters["in_flight"])
         try:
             yield
         finally:
-            counters["in_flight"] -= 1
-            counters["completed"] += 1
+            counters["in_flight"] -= 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
+            counters["completed"] += 1  # repro-analysis: allow[REP108] -- event-loop single-threaded; no await between read and write
             self._global.release()
             self._tenant_sem(tenant).release()
 

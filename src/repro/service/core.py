@@ -51,6 +51,14 @@ from repro.service.errors import (
 )
 from repro.service.registry import Tenant, TenantRegistry
 from repro.service.streaming import ResultPage, ResultStream
+from repro.telemetry.metrics import (
+    Sample,
+    canonical_events,
+    get_registry,
+    install_default_sources,
+)
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.trace import get_tracer
 from repro.utils.cancellation import CancellationToken, QueryCancelledError
 
 
@@ -69,6 +77,10 @@ class ServiceConfig:
     #: (its remaining pages become unreachable) when the bound is exceeded.
     max_open_streams: int = 64
     executor_threads: int = 8
+    #: Queries slower than this land in the slow-query log (``GET /slow``);
+    #: ``None`` disables the log entirely.
+    slow_query_seconds: float | None = 1.0
+    slow_log_capacity: int = 128
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +92,8 @@ class ServiceConfig:
             "default_page_size": self.default_page_size,
             "max_open_streams": self.max_open_streams,
             "executor_threads": self.executor_threads,
+            "slow_query_seconds": self.slow_query_seconds,
+            "slow_log_capacity": self.slow_log_capacity,
         }
 
 
@@ -96,11 +110,15 @@ class QueryResult:
     #: The answer relation itself — in-process callers can keep joining /
     #: comparing without round-tripping rows through pages.
     answer: Relation = field(repr=False)
+    #: The tracer's id for this request (empty when tracing is disabled or
+    #: the trace was sampled out) — the key into ``export_trace`` / ``/slow``.
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         return {"tenant": self.tenant, "stream_id": self.stream_id,
                 "columns": list(self.columns), "row_count": self.row_count,
-                "elapsed": self.elapsed, "page": self.page.to_dict()}
+                "elapsed": self.elapsed, "trace_id": self.trace_id,
+                "page": self.page.to_dict()}
 
 
 class QueryService:
@@ -125,6 +143,12 @@ class QueryService:
         self._idle.set()
         self._closing = False
         self.started_at = time.time()
+        self.slow_log = SlowQueryLog(
+            threshold_seconds=self.config.slow_query_seconds,
+            capacity=self.config.slow_log_capacity)
+        install_default_sources()
+        get_registry().register_source(
+            "service", self._metrics_samples, owner=self)
 
     # -------------------------------------------------------------- tenants
     def create_tenant(self, name: str, database: Database, *,
@@ -164,29 +188,61 @@ class QueryService:
                              if timeout is None else timeout)
         token = (CancellationToken.with_timeout(effective_timeout)
                  if effective_timeout is not None else CancellationToken())
-        try:
-            async with self.admission.slot(tenant_name):
-                started = time.perf_counter()
-                result = await self._run_on_pool(tenant, parsed, shards, token)
-                elapsed = time.perf_counter() - started
-        except AdmissionRejectedError:
-            tenant.bump(rejected=1)
-            raise
-        tenant.bump(completed=1)
+        with get_tracer().span("service.request",
+                               {"tenant": tenant_name,
+                                "query": parsed.name}) as span:
+            ctx = span.context() if span else None
+            trace_id = ctx.trace_id if ctx is not None else ""
+            started = time.perf_counter()
+            try:
+                async with self.admission.slot(tenant_name):
+                    started = time.perf_counter()
+                    result = await self._run_on_pool(tenant, parsed, shards,
+                                                     token, ctx)
+                    elapsed = time.perf_counter() - started
+            except AdmissionRejectedError:
+                tenant.bump(rejected=1)
+                span.set("outcome", "rejected")
+                raise
+            except ServiceError as exc:
+                span.set("outcome", exc.code)
+                self.slow_log.record(
+                    tenant=tenant_name, query=parsed.name,
+                    elapsed=time.perf_counter() - started,
+                    trace_id=trace_id, outcome=exc.code)
+                raise
+            tenant.bump(completed=1)
+            span.set("outcome", "completed")
+            span.set("rows_out", len(result.answer))
+            self.slow_log.record(
+                tenant=tenant_name, query=parsed.name, elapsed=elapsed,
+                trace_id=trace_id, row_count=len(result.answer),
+                outcome="completed")
         return self._register_stream(tenant_name, parsed, result.answer,
-                                     page_size, elapsed)
+                                     page_size, elapsed, trace_id=trace_id)
 
     async def _run_on_pool(self, tenant: Tenant, parsed: ConjunctiveQuery,
-                           shards: int | None, token: CancellationToken):
+                           shards: int | None, token: CancellationToken,
+                           ctx=None):
         """Run the blocking engine call on the worker pool, mapping engine
-        exceptions to the service error taxonomy."""
+        exceptions to the service error taxonomy.
+
+        ``ctx`` is the request span's :class:`~repro.telemetry.trace.SpanContext`:
+        contextvars do not follow ``run_in_executor`` into the pool thread, so
+        the engine call re-attaches it explicitly — engine/execution spans
+        parent under the service request instead of starting orphan traces.
+        """
         loop = asyncio.get_running_loop()
+        tracer = get_tracer()
+
+        def call():
+            with tracer.attach(ctx):
+                return tenant.engine.execute(parsed, shards=shards,
+                                             cancellation=token)
+
         self._track(token, +1)
         try:
-            return await loop.run_in_executor(
-                self._executor,
-                lambda: tenant.engine.execute(parsed, shards=shards,
-                                              cancellation=token))
+            return await loop.run_in_executor(self._executor, call)
         except QueryCancelledError as exc:
             tenant.bump(cancelled=1)
             if token.deadline_exceeded:
@@ -219,7 +275,7 @@ class QueryService:
 
     def _register_stream(self, tenant_name: str, parsed: ConjunctiveQuery,
                          answer: Relation, page_size: int | None,
-                         elapsed: float) -> QueryResult:
+                         elapsed: float, trace_id: str = "") -> QueryResult:
         size = (self.config.default_page_size
                 if page_size is None else page_size)
         stream_id = f"{tenant_name}-{next(self._stream_ids)}"
@@ -230,7 +286,38 @@ class QueryService:
         return QueryResult(tenant=tenant_name, stream_id=stream_id,
                            columns=stream.columns, row_count=stream.total,
                            elapsed=elapsed, page=stream.fetch(0),
-                           answer=answer)
+                           answer=answer, trace_id=trace_id)
+
+    async def explain(self, tenant_name: str,
+                      query: ConjunctiveQuery | str, *,
+                      analyze: bool = False,
+                      shards: int | None = None) -> dict:
+        """The engine's plan explanation for ``tenant_name``'s query.
+
+        With ``analyze=True`` the query actually executes (through the same
+        admission control as :meth:`query`) and the document gains observed
+        cardinalities, per-layer cache deltas and the full trace.
+        """
+        if self._closing:
+            raise ServiceUnavailableError("service is shutting down")
+        tenant = self.registry.get(tenant_name)
+        parsed = self._parse(query)
+        loop = asyncio.get_running_loop()
+        try:
+            async with self.admission.slot(tenant_name):
+                return await loop.run_in_executor(
+                    self._executor,
+                    lambda: tenant.engine.explain(parsed, shards=shards,
+                                                  analyze=analyze))
+        except AdmissionRejectedError:
+            tenant.bump(rejected=1)
+            raise
+        except ServiceError:
+            raise
+        except Exception as exc:
+            tenant.bump(failed=1)
+            raise QueryExecutionError(
+                f"explain failed: {exc}", cause=exc) from exc
 
     def fetch_page(self, tenant_name: str, stream_id: str, *,
                    offset: int = 0, page_size: int | None = None) -> ResultPage:
@@ -272,7 +359,38 @@ class QueryService:
             "totals": totals,
             "lp_cache": lp_cache_stats(),
             "kernels": kernel_stats(),
+            "telemetry": {
+                "tracer": get_tracer().stats(),
+                "slow_log": self.slow_log.stats(),
+            },
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /metrics`` body)."""
+        return get_registry().render_prometheus()
+
+    def _metrics_samples(self) -> list[Sample]:
+        """The registry pull source for service-level counters.
+
+        Samples the *same* structures ``stats()`` reports — the admission
+        controller's counter dict and each tenant's outcome counters — so
+        ``/metrics`` and ``/stats`` reconcile by construction.
+        """
+        samples: list[Sample] = []
+        admission = {key: value
+                     for key, value in self.admission.stats_counters.items()
+                     if isinstance(value, (int, float))}
+        for name, value in canonical_events("admission", admission).items():
+            kind = ("gauge" if name.endswith(("in_flight", "peak_in_flight"))
+                    else "counter")
+            samples.append(Sample(name, {}, value, kind))
+        samples.append(Sample("service.streams.open", {},
+                              len(self._streams), "gauge"))
+        samples.append(Sample("service.queries.active", {},
+                              self._active, "gauge"))
+        for tenant in self.registry.tenants():
+            samples.extend(tenant.metrics_samples())
+        return samples
 
     # -------------------------------------------------------------- shutdown
     async def shutdown(self, drain: bool = True,
@@ -365,6 +483,18 @@ class QueryService:
                                    offset=int(request.get("offset", 0)),
                                    page_size=request.get("page_size"))
             return page.to_dict()
+        if op == "metrics":
+            return {"content_type": "text/plain; version=0.0.4",
+                    "text": self.metrics_text()}
+        if op == "slow":
+            return {"slow_queries": self.slow_log.entries(),
+                    "log": self.slow_log.stats()}
+        if op == "explain":
+            self._require(request, "tenant", "query")
+            return await self.explain(
+                request["tenant"], request["query"],
+                analyze=bool(request.get("analyze", False)),
+                shards=request.get("shards"))
         raise BadRequestError(f"unknown op {op!r}")
 
     @staticmethod

@@ -10,15 +10,20 @@ method     path            body / query string
 =========  ==============  ==========================================
 ``GET``    ``/healthz``    —
 ``GET``    ``/stats``      —
+``GET``    ``/metrics``    — (Prometheus text exposition, ``text/plain``)
+``GET``    ``/slow``       — (the slow-query log, with trace ids)
 ``GET``    ``/tenants``    —
 ``POST``   ``/tenants``    ``{name, backend?, relations, engine?}``
 ``POST``   ``/query``      ``{tenant, query, timeout?, shards?, page_size?}``
+``POST``   ``/explain``    ``{tenant, query, analyze?, shards?}``
 ``GET``    ``/page``       ``?tenant=..&stream_id=..&offset=..&page_size=..``
 =========  ==============  ==========================================
 
 Service error codes map onto HTTP statuses (429 for admission rejection,
 504 for a blown deadline, …) so a plain HTTP client sees conventional
-backpressure semantics without parsing the error document.
+backpressure semantics without parsing the error document.  Every response
+is JSON except ``/metrics``, which serves the raw Prometheus text format
+scrapers expect.
 """
 
 from __future__ import annotations
@@ -81,14 +86,16 @@ class HttpFrontend:
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         try:
-            status, document = await self._serve_one(reader)
+            status, payload, content_type = await self._serve_one(reader)
         except Exception as exc:  # defense: a broken request never kills the loop
-            status, document = 400, {"ok": False, "error": {
-                "code": "bad-request", "message": f"malformed request: {exc}"}}
-        payload = json.dumps(document).encode()
+            status, payload, content_type = 400, json.dumps(
+                {"ok": False, "error": {
+                    "code": "bad-request",
+                    "message": f"malformed request: {exc}"}}).encode(), \
+                "application/json"
         reason = _REASONS.get(status, "OK")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 "Connection: close\r\n\r\n")
         try:
@@ -101,13 +108,15 @@ class HttpFrontend:
             except (ConnectionError, asyncio.CancelledError):
                 pass
 
-    async def _serve_one(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+    async def _serve_one(
+            self, reader: asyncio.StreamReader) -> tuple[int, bytes, str]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
-            return 400, _error("bad-request", "empty request")
+            return _json_reply(400, _error("bad-request", "empty request"))
         parts = request_line.split()
         if len(parts) != 3:
-            return 400, _error("bad-request", f"malformed request line: {request_line!r}")
+            return _json_reply(400, _error(
+                "bad-request", f"malformed request line: {request_line!r}"))
         method, target, _version = parts
         headers = {}
         while True:
@@ -118,20 +127,27 @@ class HttpFrontend:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", 0) or 0)
         if length > MAX_BODY_BYTES:
-            return 413, _error("bad-request", "request body too large")
+            return _json_reply(413, _error("bad-request",
+                                           "request body too large"))
         body = await reader.readexactly(length) if length else b""
 
         request = self._route(method.upper(), target, body)
         if request is None:
-            return 405, _error("bad-request",
-                               f"unsupported route {method} {target}")
+            return _json_reply(405, _error(
+                "bad-request", f"unsupported route {method} {target}"))
         if isinstance(request, tuple):  # pre-dispatch failure (bad JSON, …)
-            return request
+            return _json_reply(*request)
         response = await self.service.handle(request)
         if response.get("ok"):
-            return 200, response
+            result = response.get("result")
+            # Raw-text ops (the Prometheus scrape) bypass the JSON envelope:
+            # scrapers expect the bare exposition format, not a JSON wrapper.
+            if (isinstance(result, dict) and "content_type" in result
+                    and "text" in result):
+                return 200, result["text"].encode(), result["content_type"]
+            return _json_reply(200, response)
         code = response.get("error", {}).get("code", "internal")
-        return STATUS_BY_CODE.get(code, 500), response
+        return _json_reply(STATUS_BY_CODE.get(code, 500), response)
 
     def _route(self, method: str, target: str, body: bytes):
         """Translate (method, path, body) into a ``handle()`` request doc."""
@@ -142,6 +158,10 @@ class HttpFrontend:
             return {"op": "healthz"}
         if method == "GET" and path == "/stats":
             return {"op": "stats"}
+        if method == "GET" and path == "/metrics":
+            return {"op": "metrics"}
+        if method == "GET" and path == "/slow":
+            return {"op": "slow"}
         if method == "GET" and path == "/tenants":
             return {"op": "tenants"}
         if method == "GET" and path == "/page":
@@ -160,7 +180,13 @@ class HttpFrontend:
                 return {"op": "create_tenant", **payload}
             if path == "/query":
                 return {"op": "query", **payload}
+            if path == "/explain":
+                return {"op": "explain", **payload}
         return None
+
+
+def _json_reply(status: int, document: dict) -> tuple[int, bytes, str]:
+    return status, json.dumps(document).encode(), "application/json"
 
 
 def _error(code: str, message: str) -> dict:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.engine import Engine
 from repro.relational.database import Database
 from repro.service.errors import DuplicateTenantError, UnknownTenantError
+from repro.telemetry.metrics import canonical_events
 
 
 @dataclass
@@ -57,6 +58,25 @@ class Tenant:
             "caches": self.engine.cache_stats(),
             "database": self.engine.database.summary(),
         }
+
+    def metrics_samples(self) -> list[tuple]:
+        """This tenant's counters as registry samples, labelled by tenant.
+
+        Reads the same locked outcome counters and engine stats dict that
+        :meth:`snapshot` reports, so ``/metrics`` and ``/stats`` agree.
+        """
+        with self._lock:
+            outcomes = {"completed": self.completed, "failed": self.failed,
+                        "cancelled": self.cancelled, "rejected": self.rejected}
+        labels = {"tenant": self.name}
+        samples = [(f"service.tenant.{name}", labels, value)
+                   for name, value in outcomes.items()]
+        plan_events = canonical_events(
+            "plan_cache", self.engine.plan_cache.cache_stats())
+        for name, value in plan_events.items():
+            kind = "gauge" if name.endswith(".entries") else "counter"
+            samples.append((name, labels, value, kind))
+        return samples
 
 
 class TenantRegistry:
@@ -110,6 +130,11 @@ class TenantRegistry:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._tenants)
+
+    def tenants(self) -> list[Tenant]:
+        """A snapshot list of the live tenant objects."""
+        with self._lock:
+            return list(self._tenants.values())
 
     def snapshot(self) -> dict[str, dict]:
         """Per-tenant stats documents, keyed by tenant name."""

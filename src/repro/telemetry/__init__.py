@@ -1,0 +1,53 @@
+"""Unified telemetry: tracing, the metrics registry, the cardinality
+profiler and the slow-query log.
+
+The four modules are deliberately dependency-light (stdlib only at import
+time; layer modules are imported lazily inside collectors), so any layer of
+the engine can import :mod:`repro.telemetry` without cycles.
+"""
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    Sample,
+    bump_counters,
+    canonical_events,
+    canonical_key,
+    get_registry,
+    install_default_sources,
+    legacy_key,
+)
+from repro.telemetry.profiler import CardinalityProfile, NodeProfile, plan_nodes
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    get_tracer,
+    set_tracing_enabled,
+    tracing_enabled,
+    using_tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "CardinalityProfile",
+    "MetricsRegistry",
+    "NodeProfile",
+    "Sample",
+    "SlowQueryLog",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "bump_counters",
+    "canonical_events",
+    "canonical_key",
+    "get_registry",
+    "get_tracer",
+    "install_default_sources",
+    "legacy_key",
+    "plan_nodes",
+    "set_tracing_enabled",
+    "tracing_enabled",
+    "using_tracing",
+]

@@ -28,6 +28,7 @@ from repro.analysis.rules import (
     REP105,
     REP106,
     REP107,
+    REP108,
 )
 from repro.relational import WorkCounter
 
@@ -424,6 +425,70 @@ def test_rep107_ignores_typed_handlers_and_non_dispatch_scopes():
 def test_rep107_keeps_the_shipped_dispatch_paths_clean():
     report = lint_paths(["src/repro/engine/"], rules=[REP107])
     assert not [f for f in report.findings if not f.suppressed]
+
+
+# ---------------------------------------------------------------------------
+# REP108: counter dicts bypassing the metrics registry
+# ---------------------------------------------------------------------------
+
+def test_rep108_flags_unlocked_counter_dict_increment():
+    findings = _lint("""
+        _CACHE_STATS = {"hits": 0}
+
+        def note_hit():
+            _CACHE_STATS["hits"] = _CACHE_STATS.get("hits", 0) + 1
+    """, rules=[REP108])
+    assert len(_hits(findings, "REP108")) == 1
+
+
+def test_rep108_flags_stats_counters_attribute_write():
+    findings = _lint("""
+        class Admission:
+            def admit(self):
+                self.stats_counters["admitted"] += 1
+    """, rules=[REP108])
+    assert len(_hits(findings, "REP108")) == 1
+
+
+def test_rep108_clean_under_lock_and_in_setup():
+    findings = _lint("""
+        import threading
+
+        _CACHE_STATS = {"hits": 0}
+        _STATS_LOCK = threading.Lock()
+
+        def note_hit():
+            with _STATS_LOCK:
+                _CACHE_STATS["hits"] += 1
+
+        class Admission:
+            def __init__(self):
+                self.stats_counters = {"admitted": 0}
+                self.stats_counters["admitted"] = 0
+    """, rules=[REP108])
+    assert not _hits(findings, "REP108")
+
+
+def test_rep108_leaves_rep101_containers_alone():
+    # The exact `stats`/`_stats` names are REP101's beat: double-reporting
+    # the same mutation under two rules would make every legacy suppression
+    # stale.
+    findings = _lint("""
+        class Backend:
+            def note(self):
+                self.stats["index_misses"] += 1
+    """, rules=[REP108])
+    assert not _hits(findings, "REP108")
+
+
+def test_rep108_keeps_the_shipped_tree_clean():
+    report = lint_paths(["src/repro/"], rules=[REP108])
+    assert not [f for f in report.findings if not f.suppressed]
+    # The admission controller's event-loop counters are the one sanctioned
+    # bypass — present, suppressed, and justified.
+    suppressed = [f for f in report.findings if f.suppressed]
+    assert suppressed
+    assert all(f.justification for f in suppressed)
 
 
 # ---------------------------------------------------------------------------
